@@ -1,0 +1,142 @@
+// Command mcs-experiments regenerates the tables and figures of the
+// paper's evaluation (§6): the Fig. 4 worked example, the Fig. 9a/9b/9c
+// comparisons, the run-time table and the cruise-controller case study.
+//
+// The defaults are scaled down so a full run finishes in minutes; the
+// paper's scale (sizes up to 10 nodes, 30 seeds, hours of simulated
+// annealing) is available through the flags:
+//
+//	mcs-experiments -exp all
+//	mcs-experiments -exp fig9a -sizes 2,4,6,8,10 -seeds 30 -sa 2000
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strconv"
+	"strings"
+
+	"repro/internal/expt"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: fig4, fig9a, fig9b, fig9c, cruise, runtime, ablation, all")
+		sizes    = flag.String("sizes", "", "comma-separated node counts for fig9a/fig9b/runtime (default 2,4)")
+		inter    = flag.String("inter", "", "comma-separated message counts for fig9c (default 10,20,30)")
+		seeds    = flag.Int("seeds", 0, "applications per point (default 3; the paper uses 30)")
+		saIters  = flag.Int("sa", 0, "simulated-annealing iterations per run (default 150)")
+		progress = flag.Bool("progress", false, "print one line per completed step")
+	)
+	flag.Parse()
+
+	opts := expt.Options{Seeds: *seeds, SAIterations: *saIters}
+	if *progress {
+		opts.Progress = os.Stderr
+	}
+	var err error
+	if opts.Sizes, err = parseInts(*sizes); err != nil {
+		fatal(err)
+	}
+	if opts.Inter, err = parseInts(*inter); err != nil {
+		fatal(err)
+	}
+
+	run := func(name string, f func() error) {
+		if *exp != "all" && *exp != name {
+			return
+		}
+		if err := f(); err != nil {
+			fatal(fmt.Errorf("%s: %w", name, err))
+		}
+		fmt.Println()
+	}
+
+	run("fig4", func() error {
+		rows, err := expt.Figure4()
+		if err != nil {
+			return err
+		}
+		expt.PrintFigure4(os.Stdout, rows)
+		return nil
+	})
+	run("fig9a", func() error {
+		rows, err := expt.Fig9a(opts)
+		if err != nil {
+			return err
+		}
+		expt.PrintFig9a(os.Stdout, rows)
+		return nil
+	})
+	run("fig9b", func() error {
+		rows, err := expt.Fig9b(opts)
+		if err != nil {
+			return err
+		}
+		expt.PrintFig9b(os.Stdout, rows)
+		return nil
+	})
+	run("fig9c", func() error {
+		rows, err := expt.Fig9c(opts)
+		if err != nil {
+			return err
+		}
+		expt.PrintFig9c(os.Stdout, rows)
+		return nil
+	})
+	run("cruise", func() error {
+		rows, err := expt.Cruise(opts)
+		if err != nil {
+			return err
+		}
+		expt.PrintCruise(os.Stdout, rows)
+		return nil
+	})
+	run("ablation", func() error {
+		rows, err := expt.Ablation(opts)
+		if err != nil {
+			return err
+		}
+		expt.PrintAblation(os.Stdout, rows)
+		return nil
+	})
+	run("runtime", func() error {
+		rows, err := expt.Runtimes(opts)
+		if err != nil {
+			return err
+		}
+		saShown := opts.SAIterations
+		if saShown == 0 {
+			saShown = 150
+		}
+		expt.PrintRuntimes(os.Stdout, rows, saShown)
+		return nil
+	})
+
+	switch *exp {
+	case "fig4", "fig9a", "fig9b", "fig9c", "cruise", "runtime", "ablation", "all":
+	default:
+		fatal(fmt.Errorf("unknown experiment %q", *exp))
+	}
+}
+
+func parseInts(s string) ([]int, error) {
+	if s == "" {
+		return nil, nil
+	}
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad integer list %q: %w", s, err)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcs-experiments:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,103 @@
+// Command mcs-sim synthesizes a configuration and then executes it in
+// the discrete-event simulator, comparing every observation with the
+// analysed worst-case bounds (response times, queue occupancies).
+//
+// Examples:
+//
+//	mcs-sim -cruise -strategy os -cycles 4 -exec random
+//	mcs-sim -in app.json -strategy or
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input system JSON (from mcs-gen)")
+		cruiseFl = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
+		strategy = flag.String("strategy", "os", "synthesis strategy: sf, os, or, sas, sar")
+		cycles   = flag.Int("cycles", 2, "hyper-periods to simulate")
+		execMode = flag.String("exec", "worst", "execution times: worst, best, random")
+		seed     = flag.Int64("seed", 1, "seed for random execution times")
+		trace    = flag.Bool("trace", false, "print the event trace (textual Gantt chart)")
+	)
+	flag.Parse()
+
+	var sys *repro.System
+	var err error
+	if *cruiseFl {
+		sys, err = repro.CruiseController()
+	} else if *in != "" {
+		sys, err = repro.LoadSystem(*in)
+	} else {
+		err = fmt.Errorf("need -in <file> or -cruise")
+	}
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := repro.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{Strategy: strat})
+	if err != nil {
+		fatal(err)
+	}
+	if !res.Analysis.Schedulable {
+		fatal(fmt.Errorf("strategy %v did not produce a schedulable system (delta=%d); only executable tables can be simulated", strat, res.Analysis.Delta))
+	}
+	opts := repro.SimOptions{Cycles: *cycles, Seed: *seed}
+	if *trace {
+		opts.Trace = os.Stdout
+	}
+	switch *execMode {
+	case "worst":
+		opts.Exec = repro.ExecWorstCase
+	case "best":
+		opts.Exec = repro.ExecBestCase
+	case "random":
+		opts.Exec = repro.ExecRandom
+	default:
+		fatal(fmt.Errorf("unknown -exec %q (want worst, best or random)", *execMode))
+	}
+	simRes, err := repro.Simulate(sys.Application, sys.Architecture, res.Config, res.Analysis, opts)
+	if err != nil {
+		fatal(err)
+	}
+
+	fmt.Printf("simulated %d hyper-periods (%s execution times): %d instances completed\n",
+		*cycles, *execMode, simRes.Completed)
+	fmt.Printf("deadline misses: %d   violations: %d\n", simRes.DeadlineMisses, len(simRes.Violations))
+	for _, v := range simRes.Violations {
+		fmt.Println("  VIOLATION:", v)
+	}
+	fmt.Println("graph responses, simulated vs analysed bound:")
+	ok := true
+	for g := range sys.Application.Graphs {
+		gr := &sys.Application.Graphs[g]
+		simR := simRes.GraphWorstResp[g]
+		bound := res.Analysis.GraphResp[g]
+		mark := "<="
+		if simR > bound {
+			mark = "EXCEEDS"
+			ok = false
+		}
+		fmt.Printf("  %-12s sim %6d %s bound %6d (D=%d)\n", gr.Name, simR, mark, bound, gr.Deadline)
+	}
+	fmt.Printf("queue peaks, simulated vs bound: OutCAN %d/%d  OutTTP %d/%d\n",
+		simRes.PeakOutCAN, res.Analysis.Buffers.OutCAN,
+		simRes.PeakOutTTP, res.Analysis.Buffers.OutTTP)
+	if !ok || len(simRes.Violations) > 0 {
+		os.Exit(2)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcs-sim:", err)
+	os.Exit(1)
+}

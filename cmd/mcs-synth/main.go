@@ -1,0 +1,126 @@
+// Command mcs-synth synthesizes a system configuration for a two-cluster
+// application: the TDMA slot sequence and sizes, the ET process and CAN
+// message priorities, and the TT schedule tables, together with the full
+// schedulability analysis report (response times, degree of
+// schedulability, gateway buffer bounds).
+//
+// Examples:
+//
+//	mcs-gen -nodes 2 -o app.json
+//	mcs-synth -in app.json -strategy or
+//	mcs-synth -cruise -strategy os -v
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"repro"
+)
+
+func main() {
+	var (
+		in       = flag.String("in", "", "input system JSON (from mcs-gen)")
+		cruiseFl = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
+		strategy = flag.String("strategy", "or", "synthesis strategy: sf, os, or, sas, sar")
+		saIters  = flag.Int("sa-iterations", 300, "iteration budget for sas/sar")
+		seed     = flag.Int64("seed", 1, "seed for the randomized strategies")
+		verbose  = flag.Bool("v", false, "print per-process response times")
+		tables   = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
+		saveCfg  = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
+	)
+	flag.Parse()
+
+	sys, err := loadSystem(*in, *cruiseFl)
+	if err != nil {
+		fatal(err)
+	}
+	strat, err := repro.ParseStrategy(*strategy)
+	if err != nil {
+		fatal(err)
+	}
+	res, err := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{
+		Strategy: strat, SAIterations: *saIters, Seed: *seed,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	report(sys, strat, res, *verbose)
+	if *saveCfg != "" {
+		f, err := os.Create(*saveCfg)
+		if err != nil {
+			fatal(err)
+		}
+		if err := res.Config.Save(f); err != nil {
+			fatal(err)
+		}
+		if err := f.Close(); err != nil {
+			fatal(err)
+		}
+		fmt.Printf("configuration written to %s\n", *saveCfg)
+	}
+	if *tables {
+		fmt.Println()
+		res.Analysis.WriteScheduleTables(os.Stdout, sys.Application, sys.Architecture)
+	}
+	if !res.Analysis.Schedulable {
+		os.Exit(2)
+	}
+}
+
+func loadSystem(in string, cruiseFl bool) (*repro.System, error) {
+	if cruiseFl {
+		return repro.CruiseController()
+	}
+	if in == "" {
+		return nil, fmt.Errorf("need -in <file> or -cruise")
+	}
+	return repro.LoadSystem(in)
+}
+
+func report(sys *repro.System, strat repro.Strategy, res *repro.SynthesisResult, verbose bool) {
+	app := sys.Application
+	a := res.Analysis
+	fmt.Printf("application %q on %q, strategy %v (%d analyses)\n",
+		app.Name, sys.Architecture.Name, strat, res.Evaluations)
+	fmt.Printf("TDMA round: %v (period %d)\n", res.Config.Round, res.Config.Round.Period())
+	fmt.Printf("schedulable: %v   delta_Gamma: %d   MCS iterations: %d\n",
+		a.Schedulable, a.Delta, a.Iterations)
+	fmt.Println("graph responses:")
+	for g := range app.Graphs {
+		gr := &app.Graphs[g]
+		mark := "meets"
+		if a.GraphResp[g] > gr.Deadline {
+			mark = "MISSES"
+		}
+		fmt.Printf("  %-12s R=%6d  D=%6d  (%s)\n", gr.Name, a.GraphResp[g], gr.Deadline, mark)
+	}
+	fmt.Printf("buffers: OutCAN=%dB OutTTP=%dB", a.Buffers.OutCAN, a.Buffers.OutTTP)
+	var nodes []repro.NodeID
+	for n := range a.Buffers.OutNode {
+		nodes = append(nodes, n)
+	}
+	sort.Slice(nodes, func(i, j int) bool { return nodes[i] < nodes[j] })
+	for _, n := range nodes {
+		fmt.Printf(" OutN%d=%dB", n, a.Buffers.OutNode[n])
+	}
+	fmt.Printf("  s_total=%dB\n", a.Buffers.Total)
+	if verbose {
+		fmt.Println("process completions (worst case, relative to release):")
+		for _, p := range app.Procs {
+			pr, ok := a.Proc[p.ID]
+			if !ok {
+				continue
+			}
+			fmt.Printf("  %-24s O=%6d J=%6d W=%6d C=%5d  done by %6d\n",
+				p.Name, pr.O, pr.J, pr.W, p.WCET, pr.Completion())
+		}
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcs-synth:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,172 @@
+// Package core implements the paper's primary contribution: the
+// MultiClusterScheduling algorithm (Fig. 5) that couples the static
+// cyclic schedule of the time-triggered cluster with the offset-based
+// response-time analysis of the event-triggered cluster, the degree of
+// schedulability delta_Gamma, and the total buffer need s_total (§4-§5).
+//
+// A system configuration psi = <phi, beta, pi> consists of
+//
+//   - phi: the offsets of TT processes and TTP messages (the schedule
+//     tables and the MEDL), produced by internal/tsched and adjustable
+//     through pinned offsets;
+//   - beta: the TDMA round (slot order and lengths), field Config.Round;
+//   - pi: the priorities of the ET processes and of the CAN messages.
+//
+// Analyze runs the fixed point between StaticScheduling and
+// ResponseTimeAnalysis and returns response times, the degree of
+// schedulability and the gateway buffer bounds.
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/model"
+	"repro/internal/tsched"
+	"repro/internal/ttp"
+)
+
+// Config is the synthesized system configuration psi = <phi, beta, pi>.
+type Config struct {
+	// Round is beta: the TDMA slot sequence and lengths. Normalize pads
+	// it so the round period divides the hyper-period.
+	Round ttp.Round
+	// ProcPriority is pi for the ET processes: unique per ET node
+	// (globally unique values are simplest), smaller = higher priority.
+	ProcPriority map[model.ProcID]int
+	// MsgPriority is pi for the messages travelling on the CAN bus:
+	// unique across the bus, smaller = higher priority (CAN identifier
+	// order).
+	MsgPriority map[model.EdgeID]int
+	// PinnedProc and PinnedEdge are the phi adjustments explored by
+	// OptimizeResources: "not before" in-period offsets for TT processes
+	// and TTP messages.
+	PinnedProc map[model.ProcID]model.Time
+	PinnedEdge map[model.EdgeID]model.Time
+}
+
+// Clone returns a deep copy; the optimization heuristics mutate copies.
+func (c *Config) Clone() *Config {
+	d := &Config{
+		Round:        c.Round.Clone(),
+		ProcPriority: make(map[model.ProcID]int, len(c.ProcPriority)),
+		MsgPriority:  make(map[model.EdgeID]int, len(c.MsgPriority)),
+	}
+	for k, v := range c.ProcPriority {
+		d.ProcPriority[k] = v
+	}
+	for k, v := range c.MsgPriority {
+		d.MsgPriority[k] = v
+	}
+	if c.PinnedProc != nil {
+		d.PinnedProc = make(map[model.ProcID]model.Time, len(c.PinnedProc))
+		for k, v := range c.PinnedProc {
+			d.PinnedProc[k] = v
+		}
+	}
+	if c.PinnedEdge != nil {
+		d.PinnedEdge = make(map[model.EdgeID]model.Time, len(c.PinnedEdge))
+		for k, v := range c.PinnedEdge {
+			d.PinnedEdge[k] = v
+		}
+	}
+	return d
+}
+
+// DefaultConfig builds the straightforward configuration used as the SF
+// baseline's starting point (§6): slots allocated to the owners in
+// ascending architecture order, each with its minimal allowed length
+// (the largest message the owner sends), and priorities assigned in
+// creation order.
+func DefaultConfig(app *model.Application, arch *model.Architecture) *Config {
+	cfg := &Config{
+		Round: ttp.NewRound(arch.SlotOwners(), func(n model.NodeID) model.Time {
+			return tsched.MinSlotLength(app, arch, n)
+		}),
+		ProcPriority: make(map[model.ProcID]int),
+		MsgPriority:  make(map[model.EdgeID]int),
+	}
+	next := 0
+	for _, p := range app.Procs {
+		if arch.Kind(p.Node) == model.EventTriggered {
+			cfg.ProcPriority[p.ID] = next
+			next++
+		}
+	}
+	next = 0
+	for _, e := range app.Edges {
+		if app.RouteOf(e.ID, arch).UsesCAN() {
+			cfg.MsgPriority[e.ID] = next
+			next++
+		}
+	}
+	return cfg
+}
+
+// Normalize pads the round so its period divides the hyper-period.
+// Call it after every slot-length or slot-order change.
+func (c *Config) Normalize(app *model.Application) error {
+	h, err := app.Hyperperiod()
+	if err != nil {
+		return err
+	}
+	return c.Round.PadToDivide(h)
+}
+
+// Validate checks the configuration against the application: one slot
+// per owner, every ET process and CAN message has a priority, priorities
+// unique per resource.
+func (c *Config) Validate(app *model.Application, arch *model.Architecture) error {
+	if err := c.Round.Validate(arch.SlotOwners()); err != nil {
+		return err
+	}
+	seenProc := make(map[[2]int]model.ProcID)
+	for _, p := range app.Procs {
+		if arch.Kind(p.Node) != model.EventTriggered {
+			continue
+		}
+		prio, ok := c.ProcPriority[p.ID]
+		if !ok {
+			return fmt.Errorf("core: ET process %q has no priority", p.Name)
+		}
+		key := [2]int{int(p.Node), prio}
+		if prev, dup := seenProc[key]; dup {
+			return fmt.Errorf("core: processes %q and %q share priority %d on node %d", app.Procs[prev].Name, p.Name, prio, p.Node)
+		}
+		seenProc[key] = p.ID
+	}
+	seenMsg := make(map[int]model.EdgeID)
+	for _, e := range app.Edges {
+		if !app.RouteOf(e.ID, arch).UsesCAN() {
+			continue
+		}
+		prio, ok := c.MsgPriority[e.ID]
+		if !ok {
+			return fmt.Errorf("core: CAN message %q has no priority", e.Name)
+		}
+		if prev, dup := seenMsg[prio]; dup {
+			return fmt.Errorf("core: messages %q and %q share CAN priority %d", app.Edges[prev].Name, e.Name, prio)
+		}
+		seenMsg[prio] = e.ID
+	}
+	return nil
+}
+
+// PinProc returns a copy with an additional TT process pin.
+func (c *Config) PinProc(p model.ProcID, off model.Time) *Config {
+	d := c.Clone()
+	if d.PinnedProc == nil {
+		d.PinnedProc = make(map[model.ProcID]model.Time)
+	}
+	d.PinnedProc[p] = off
+	return d
+}
+
+// PinEdge returns a copy with an additional TTP message pin.
+func (c *Config) PinEdge(e model.EdgeID, off model.Time) *Config {
+	d := c.Clone()
+	if d.PinnedEdge == nil {
+		d.PinnedEdge = make(map[model.EdgeID]model.Time)
+	}
+	d.PinnedEdge[e] = off
+	return d
+}

@@ -1,0 +1,106 @@
+package core
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/ttp"
+)
+
+// configFile is the on-disk form of a Config: maps become sorted slices
+// so the output is stable and diff-friendly.
+type configFile struct {
+	Round        ttp.Round      `json:"round"`
+	ProcPriority []procPrioJSON `json:"procPriority"`
+	MsgPriority  []msgPrioJSON  `json:"msgPriority"`
+	PinnedProcs  []procPinJSON  `json:"pinnedProcs,omitempty"`
+	PinnedEdges  []edgePinJSON  `json:"pinnedEdges,omitempty"`
+}
+
+type procPrioJSON struct {
+	Proc     model.ProcID `json:"proc"`
+	Priority int          `json:"priority"`
+}
+
+type msgPrioJSON struct {
+	Edge     model.EdgeID `json:"edge"`
+	Priority int          `json:"priority"`
+}
+
+type procPinJSON struct {
+	Proc   model.ProcID `json:"proc"`
+	Offset model.Time   `json:"offset"`
+}
+
+type edgePinJSON struct {
+	Edge   model.EdgeID `json:"edge"`
+	Offset model.Time   `json:"offset"`
+}
+
+// Save writes the configuration as stable, indented JSON.
+func (c *Config) Save(w io.Writer) error {
+	f := configFile{Round: c.Round}
+	for p, prio := range c.ProcPriority {
+		f.ProcPriority = append(f.ProcPriority, procPrioJSON{p, prio})
+	}
+	sort.Slice(f.ProcPriority, func(i, j int) bool { return f.ProcPriority[i].Proc < f.ProcPriority[j].Proc })
+	for e, prio := range c.MsgPriority {
+		f.MsgPriority = append(f.MsgPriority, msgPrioJSON{e, prio})
+	}
+	sort.Slice(f.MsgPriority, func(i, j int) bool { return f.MsgPriority[i].Edge < f.MsgPriority[j].Edge })
+	for p, off := range c.PinnedProc {
+		f.PinnedProcs = append(f.PinnedProcs, procPinJSON{p, off})
+	}
+	sort.Slice(f.PinnedProcs, func(i, j int) bool { return f.PinnedProcs[i].Proc < f.PinnedProcs[j].Proc })
+	for e, off := range c.PinnedEdge {
+		f.PinnedEdges = append(f.PinnedEdges, edgePinJSON{e, off})
+	}
+	sort.Slice(f.PinnedEdges, func(i, j int) bool { return f.PinnedEdges[i].Edge < f.PinnedEdges[j].Edge })
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(&f); err != nil {
+		return fmt.Errorf("core: encoding config: %w", err)
+	}
+	return nil
+}
+
+// LoadConfig parses a configuration written by Save and validates it
+// against the application and architecture.
+func LoadConfig(r io.Reader, app *model.Application, arch *model.Architecture) (*Config, error) {
+	var f configFile
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&f); err != nil {
+		return nil, fmt.Errorf("core: decoding config: %w", err)
+	}
+	c := &Config{
+		Round:        f.Round,
+		ProcPriority: make(map[model.ProcID]int, len(f.ProcPriority)),
+		MsgPriority:  make(map[model.EdgeID]int, len(f.MsgPriority)),
+	}
+	for _, p := range f.ProcPriority {
+		c.ProcPriority[p.Proc] = p.Priority
+	}
+	for _, m := range f.MsgPriority {
+		c.MsgPriority[m.Edge] = m.Priority
+	}
+	if len(f.PinnedProcs) > 0 {
+		c.PinnedProc = make(map[model.ProcID]model.Time, len(f.PinnedProcs))
+		for _, p := range f.PinnedProcs {
+			c.PinnedProc[p.Proc] = p.Offset
+		}
+	}
+	if len(f.PinnedEdges) > 0 {
+		c.PinnedEdge = make(map[model.EdgeID]model.Time, len(f.PinnedEdges))
+		for _, e := range f.PinnedEdges {
+			c.PinnedEdge[e.Edge] = e.Offset
+		}
+	}
+	if err := c.Validate(app, arch); err != nil {
+		return nil, err
+	}
+	return c, nil
+}

@@ -1,0 +1,351 @@
+package core
+
+import (
+	"testing"
+
+	"repro/internal/model"
+	"repro/internal/ttp"
+)
+
+// Figure 4 of the paper: graph G1 (P1 -> {m1->P2, m2->P3}, P2 -> m3 -> P4)
+// on a two-cluster platform. P1, P4 on TT node N1; P2, P3 on ET node N2.
+// C1 = C4 = 30, C2 = C3 = 20, C_T = 5, CAN frame times 10, TDMA round of
+// two 20-tick slots, T_G1 = 240, D_G1 = 200.
+//
+// The paper's panel annotations mix analysis values with an illustrative
+// execution trace; our engine reproduces the §4.2 analysis values (J2=15,
+// J3=25, I2=20, r2=55, r3=45) exactly and derives the end-to-end response
+// with full worst-case jitter propagation (see EXPERIMENTS.md E1):
+//
+//	(a) S_G first, priority(P3) > priority(P2): R_G1 = 250, missed.
+//	(b) S_1 first, same priorities:             R_G1 = 230, missed.
+//	(c) S_G first, priority(P2) > priority(P3): R_G1 = 210, missed.
+//	(d) S_1 first and P2 high priority:         R_G1 = 190, met.
+//
+// The paper's qualitative claim - the TDMA slot order and the ET
+// priorities decide schedulability - is exactly what (a) vs (d) shows.
+func fig4System(t *testing.T) (*model.Application, *model.Architecture, [4]model.ProcID, [3]model.EdgeID) {
+	t.Helper()
+	arch, err := model.NewTwoClusterArchitecture(model.ArchSpec{
+		Name: "fig4", TTNodes: 1, ETNodes: 1, TickPerByte: 1, CANBitTime: 1, GatewayCost: 5,
+	})
+	if err != nil {
+		t.Fatalf("arch: %v", err)
+	}
+	app := model.NewApplication("fig4")
+	g := app.AddGraph("G1", 240, 200)
+	n1 := arch.TTNodes()[0]
+	n2 := arch.ETNodes()[0]
+	p1 := app.AddProcess(g, "P1", 30, n1)
+	p2 := app.AddProcess(g, "P2", 20, n2)
+	p3 := app.AddProcess(g, "P3", 20, n2)
+	p4 := app.AddProcess(g, "P4", 30, n1)
+	m1 := app.AddEdge("m1", p1, p2, 8)
+	m2 := app.AddEdge("m2", p1, p3, 8)
+	m3 := app.AddEdge("m3", p2, p4, 4)
+	for _, e := range []model.EdgeID{m1, m2, m3} {
+		app.Edges[e].CANTime = 10 // the paper's round number instead of the derived frame time
+	}
+	if err := app.Finalize(arch); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	return app, arch, [4]model.ProcID{p1, p2, p3, p4}, [3]model.EdgeID{m1, m2, m3}
+}
+
+// fig4Config builds psi for one of the four panels.
+func fig4Config(app *model.Application, arch *model.Architecture, sgFirst, p2High bool,
+	p [4]model.ProcID, m [3]model.EdgeID) *Config {
+	n1 := arch.TTNodes()[0]
+	var slots []ttp.Slot
+	if sgFirst {
+		slots = []ttp.Slot{{Node: arch.Gateway, Length: 20}, {Node: n1, Length: 20}}
+	} else {
+		slots = []ttp.Slot{{Node: n1, Length: 20}, {Node: arch.Gateway, Length: 20}}
+	}
+	cfg := &Config{
+		Round:        ttp.Round{Slots: slots},
+		ProcPriority: map[model.ProcID]int{},
+		MsgPriority: map[model.EdgeID]int{
+			m[0]: 1, m[1]: 2, m[2]: 3, // priority(m1) > priority(m2) > priority(m3)
+		},
+	}
+	if p2High {
+		cfg.ProcPriority[p[1]] = 1
+		cfg.ProcPriority[p[2]] = 2
+	} else {
+		cfg.ProcPriority[p[1]] = 2
+		cfg.ProcPriority[p[2]] = 1
+	}
+	return cfg
+}
+
+func analyzeFig4(t *testing.T, sgFirst, p2High bool) (*Analysis, *model.Application, [4]model.ProcID, [3]model.EdgeID) {
+	t.Helper()
+	app, arch, p, m := fig4System(t)
+	cfg := fig4Config(app, arch, sgFirst, p2High, p, m)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	a, err := Analyze(app, arch, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	return a, app, p, m
+}
+
+// TestFigure4aAnalysisValues checks the §4.2 example quantities on panel
+// (a). One deliberate difference to the paper's annotations: the paper's
+// own equation for w_m (Fig. 6 / §4.1.1) contains the blocking factor
+// B_m = max over lp(m) of C_k, yet the annotated numbers (J2=15, J3=25)
+// assume B = 0. We evaluate the full formula: B_m1 = B_m2 = 10 (m3 can
+// be in transmission), so r_m1 = 25 and r_m2 = 35. With B forced to zero
+// the engine reproduces the annotated 15/25 exactly — that variant is
+// covered by the rta unit tests (TestFig4aMessages). The interference
+// values I2 = 20 and the offsets O2 = O3 = 80 match the paper as-is.
+func TestFigure4aAnalysisValues(t *testing.T) {
+	a, _, p, m := analyzeFig4(t, true, false)
+
+	// m1 and m2 are broadcast in slot S_1 of round 2 and reach the
+	// gateway MBI at 80 (steps (1)-(3) of Fig. 3).
+	if got := a.Edge[m[0]].CANO; got != 80 {
+		t.Errorf("O(m1 CAN leg) = %d, want 80", got)
+	}
+	// J_m1 = J_m2 = r_T = 5.
+	if got := a.Edge[m[0]].CANJ; got != 5 {
+		t.Errorf("J(m1) = %d, want 5", got)
+	}
+	// r_m1 = J + B + C = 5 + 10 + 10; r_m2 adds m1's interference.
+	if got := a.Edge[m[0]].CANR; got != 25 {
+		t.Errorf("r(m1) = %d, want 25", got)
+	}
+	if got := a.Edge[m[1]].CANR; got != 35 {
+		t.Errorf("r(m2) = %d, want 35", got)
+	}
+	if got := a.Proc[p[1]].J; got != 25 {
+		t.Errorf("J2 = %d, want 25 (= r_m1)", got)
+	}
+	if got := a.Proc[p[2]].J; got != 35 {
+		t.Errorf("J3 = %d, want 35 (= r_m2)", got)
+	}
+	// I2 = w2 = 20: one preemption by the higher-priority P3 (§4.2).
+	if got := a.Proc[p[1]].W; got != 20 {
+		t.Errorf("I2 = %d, want 20", got)
+	}
+	if got := a.Proc[p[1]].R; got != 65 {
+		t.Errorf("r2 = %d, want 65", got)
+	}
+	if got := a.Proc[p[2]].R; got != 55 {
+		t.Errorf("r3 = %d, want 55", got)
+	}
+	// O2 = O3 = 80: the processes cannot start before their messages.
+	if a.Proc[p[1]].O != 80 || a.Proc[p[2]].O != 80 {
+		t.Errorf("O2,O3 = %d,%d want 80,80", a.Proc[p[1]].O, a.Proc[p[2]].O)
+	}
+}
+
+func TestFigure4Panels(t *testing.T) {
+	cases := []struct {
+		name            string
+		sgFirst, p2High bool
+		wantResp        model.Time
+		wantSched       bool
+	}{
+		{"a_SGfirst_P3high", true, false, 250, false},
+		{"b_S1first_P3high", false, false, 230, false},
+		{"c_SGfirst_P2high", true, true, 210, false},
+		{"d_S1first_P2high", false, true, 190, true},
+	}
+	for _, c := range cases {
+		t.Run(c.name, func(t *testing.T) {
+			a, _, _, _ := analyzeFig4(t, c.sgFirst, c.p2High)
+			if got := a.GraphResp[0]; got != c.wantResp {
+				t.Errorf("R_G1 = %d, want %d", got, c.wantResp)
+			}
+			if a.Schedulable != c.wantSched {
+				t.Errorf("Schedulable = %v, want %v (delta=%d)", a.Schedulable, c.wantSched, a.Delta)
+			}
+			if !a.Converged {
+				t.Error("analysis did not converge")
+			}
+		})
+	}
+}
+
+// TestFigure4Delta checks the degree-of-schedulability regimes: panel
+// (a) yields f1 = 50 (overrun), panel (d) yields f2 = -10 (slack).
+func TestFigure4Delta(t *testing.T) {
+	a, _, _, _ := analyzeFig4(t, true, false)
+	if a.Delta != 50 {
+		t.Errorf("delta(a) = %d, want f1 = 50", a.Delta)
+	}
+	d, _, _, _ := analyzeFig4(t, false, true)
+	if d.Delta != -10 {
+		t.Errorf("delta(d) = %d, want f2 = -10", d.Delta)
+	}
+	if !(d.Delta < a.Delta) {
+		t.Error("schedulable configuration must rank strictly better")
+	}
+}
+
+// TestFigure4Buffers checks the §4.1 queue bounds on panel (a):
+// OutCAN holds m1+m2 in the worst case (16 bytes), OutN2 and OutTTP just
+// m3 (4 bytes each).
+func TestFigure4Buffers(t *testing.T) {
+	a, app, _, _ := analyzeFig4(t, true, false)
+	if a.Buffers.OutCAN != 16 {
+		t.Errorf("s_OutCAN = %d, want 16", a.Buffers.OutCAN)
+	}
+	if a.Buffers.OutTTP != 4 {
+		t.Errorf("s_OutTTP = %d, want 4", a.Buffers.OutTTP)
+	}
+	var outN2 int
+	for _, v := range a.Buffers.OutNode {
+		outN2 += v
+	}
+	if outN2 != 4 {
+		t.Errorf("sum OutN_i = %d, want 4", outN2)
+	}
+	if a.Buffers.Total != 24 {
+		t.Errorf("s_total = %d, want 24", a.Buffers.Total)
+	}
+	_ = app
+}
+
+// TestFigure4Delivery follows m3 through its three legs on panel (d).
+func TestFigure4Delivery(t *testing.T) {
+	a, _, p, m := analyzeFig4(t, false, true)
+	er := a.Edge[m[2]]
+	if er.Route != model.RouteETtoTT {
+		t.Fatalf("route(m3) = %v", er.Route)
+	}
+	// CAN leg: enters with the completion of P2 (O=60, r2=45).
+	if er.CANO != 60 || er.CANJ != 45 {
+		t.Errorf("m3 CAN leg O,J = %d,%d want 60,45", er.CANO, er.CANJ)
+	}
+	// Arbitration: m1 and m2 can be ahead: w = 20, r = 75.
+	if er.CANW != 20 || er.CANR != 75 {
+		t.Errorf("m3 CAN leg W,R = %d,%d want 20,75", er.CANW, er.CANR)
+	}
+	// OutTTP: entry jitter = 45+20+10+5 = 80, anchor 140 = the start of
+	// S_G in round 4: no waiting, delivered at 160.
+	if er.QueueJ != 80 || er.QueueW != 0 {
+		t.Errorf("m3 queue J,W = %d,%d want 80,0", er.QueueJ, er.QueueW)
+	}
+	if er.Delivery != 160 {
+		t.Errorf("m3 delivery = %d, want 160", er.Delivery)
+	}
+	// P4 is then scheduled at 160 and finishes at 190.
+	if got := a.Proc[p[3]].O; got != 160 {
+		t.Errorf("O4 = %d, want 160", got)
+	}
+	if got := a.Proc[p[3]].Completion(); got != 190 {
+		t.Errorf("completion(P4) = %d, want 190", got)
+	}
+}
+
+// TestMoveIntervals sanity-checks the [ASAP, ALAP] windows on the
+// schedulable panel (d): slack is 10, so every TT activity may shift by
+// at most 10.
+func TestMoveIntervals(t *testing.T) {
+	a, app, p, m := analyzeFig4(t, false, true)
+	iv, ok := a.ProcMoveInterval(app, p[0])
+	if !ok {
+		t.Fatal("no interval for P1")
+	}
+	if iv.ASAP != 0 || iv.ALAP != 10 {
+		t.Errorf("P1 interval = %+v, want [0,10]", iv)
+	}
+	if _, ok := a.ProcMoveInterval(app, p[1]); ok {
+		t.Error("ET process P2 must have no TT move interval")
+	}
+	ivm, ok := a.EdgeMoveInterval(app, m[0])
+	if !ok {
+		t.Fatal("no interval for m1")
+	}
+	if ivm.ASAP != 60 || ivm.ALAP != 70 {
+		t.Errorf("m1 interval = %+v, want [60,70]", ivm)
+	}
+	if _, ok := a.EdgeMoveInterval(app, m[2]); ok {
+		t.Error("m3 has no statically scheduled TTP leg")
+	}
+}
+
+// TestConfigValidation exercises the psi validation paths.
+func TestConfigValidation(t *testing.T) {
+	app, arch, p, m := fig4System(t)
+	cfg := fig4Config(app, arch, true, false, p, m)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if err := cfg.Validate(app, arch); err != nil {
+		t.Fatalf("valid config rejected: %v", err)
+	}
+	// Unnormalized round.
+	bad := cfg.Clone()
+	bad.Round.Slots[0].Length = 23
+	if _, err := Analyze(app, arch, bad); err == nil {
+		t.Error("accepted unnormalized round")
+	}
+	// Missing process priority.
+	bad = cfg.Clone()
+	delete(bad.ProcPriority, p[1])
+	if err := bad.Validate(app, arch); err == nil {
+		t.Error("accepted missing process priority")
+	}
+	// Duplicate message priority.
+	bad = cfg.Clone()
+	bad.MsgPriority[m[0]] = bad.MsgPriority[m[1]]
+	if err := bad.Validate(app, arch); err == nil {
+		t.Error("accepted duplicate message priority")
+	}
+	// Duplicate process priority on one node.
+	bad = cfg.Clone()
+	bad.ProcPriority[p[1]] = bad.ProcPriority[p[2]]
+	if err := bad.Validate(app, arch); err == nil {
+		t.Error("accepted duplicate process priority")
+	}
+}
+
+func TestDefaultConfig(t *testing.T) {
+	app, arch, _, _ := fig4System(t)
+	cfg := DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if err := cfg.Validate(app, arch); err != nil {
+		t.Fatalf("default config invalid: %v", err)
+	}
+	// Slot of N1 must fit its largest message (8 bytes).
+	i := cfg.Round.SlotIndexOf(arch.TTNodes()[0])
+	if got := cfg.Round.Capacity(i, arch.TTP.TickPerByte); got < 8 {
+		t.Errorf("N1 slot capacity = %d, want >= 8", got)
+	}
+	if _, err := Analyze(app, arch, cfg); err != nil {
+		t.Fatalf("Analyze(default): %v", err)
+	}
+}
+
+// TestPinsChangeAnalysis: pinning m2 later on panel (d) delays P3 but
+// must keep the analysis well-formed.
+func TestPinsChangeAnalysis(t *testing.T) {
+	app, arch, p, m := fig4System(t)
+	cfg := fig4Config(app, arch, false, true, p, m)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	base, err := Analyze(app, arch, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	pinned, err := Analyze(app, arch, cfg.PinEdge(m[1], 90))
+	if err != nil {
+		t.Fatalf("Analyze(pinned): %v", err)
+	}
+	if pinned.Edge[m[1]].TTPArrival <= base.Edge[m[1]].TTPArrival {
+		t.Errorf("pin did not delay m2: %d vs %d", pinned.Edge[m[1]].TTPArrival, base.Edge[m[1]].TTPArrival)
+	}
+	// P3's offset follows m2's arrival.
+	if pinned.Proc[p[2]].O <= base.Proc[p[2]].O {
+		t.Errorf("P3 offset did not follow the pin: %d vs %d", pinned.Proc[p[2]].O, base.Proc[p[2]].O)
+	}
+}

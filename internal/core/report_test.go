@@ -1,0 +1,61 @@
+package core
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestWriteScheduleTables(t *testing.T) {
+	app, arch, p, m := fig4System(t)
+	cfg := fig4Config(app, arch, false, true, p, m) // schedulable panel (d)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	a, err := Analyze(app, arch, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	var sb strings.Builder
+	a.WriteScheduleTables(&sb, app, arch)
+	out := sb.String()
+	for _, want := range []string{
+		"TTC schedule tables",
+		"node N1:",
+		"P1",
+		"MEDL (TTP frame schedule):",
+		"m1 (8 B)",
+		"ETC priority tables:",
+		"P2",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("schedule tables miss %q:\n%s", want, out)
+		}
+	}
+}
+
+// TestAnalyzeOffsetBlindIsMorePessimistic: dropping the offset
+// refinement must never decrease any response time (it is exactly the
+// refinement the paper contributes in §4).
+func TestAnalyzeOffsetBlindIsMorePessimistic(t *testing.T) {
+	app, arch, p, m := fig4System(t)
+	cfg := fig4Config(app, arch, false, true, p, m)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	full, err := Analyze(app, arch, cfg)
+	if err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+	blind, err := AnalyzeOffsetBlind(app, arch, cfg)
+	if err != nil {
+		t.Fatalf("AnalyzeOffsetBlind: %v", err)
+	}
+	for g := range app.Graphs {
+		if blind.GraphResp[g] < full.GraphResp[g] {
+			t.Errorf("graph %d: offset-blind response %d below refined %d", g, blind.GraphResp[g], full.GraphResp[g])
+		}
+	}
+	if blind.Delta < full.Delta {
+		t.Errorf("offset-blind delta %d below refined %d", blind.Delta, full.Delta)
+	}
+}

@@ -1,0 +1,140 @@
+package expt
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/hopa"
+	"repro/internal/model"
+	"repro/internal/opt"
+)
+
+// AblationRow measures how much each design ingredient of the synthesis
+// flow contributes to the degree of schedulability (DESIGN.md asks for
+// ablation benches of the design choices):
+//
+//   - Full: OptimizeSchedule as published (slot search + HOPA).
+//   - NoHOPA: the slot search with declaration-order priorities.
+//   - NoSlotSearch: HOPA priorities on the straightforward ascending
+//     minimal-slot round (priority optimization only).
+//   - NoOffsets: the full heuristic, but the response-time analysis runs
+//     with all offsets forced to zero (classic critical-instant analysis
+//     without the paper's offset refinement).
+type AblationRow struct {
+	Nodes, Procs int
+	Count        int
+	// Schedulable counts per variant.
+	Full, NoHOPA, NoSlotSearch, NoOffsets int
+	// Average delta per variant (over all apps; lower is better).
+	FullDelta, NoHOPADelta, NoSlotDelta, NoOffsetsDelta float64
+}
+
+// Ablation runs the four variants over the generated workloads.
+func Ablation(opts Options) ([]AblationRow, error) {
+	opts.defaults()
+	var rows []AblationRow
+	for _, nodes := range opts.Sizes {
+		row := AblationRow{Nodes: nodes, Procs: 40 * nodes}
+		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
+			sys, err := gen.Paper(nodes, seed)
+			if err != nil {
+				return nil, err
+			}
+			app, arch := sys.Application, sys.Architecture
+			row.Count++
+
+			// Full OptimizeSchedule.
+			full, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+			if err != nil {
+				return nil, err
+			}
+			if full.Best.Schedulable() {
+				row.Full++
+			}
+			row.FullDelta += float64(full.Best.Delta())
+
+			// Slot search without HOPA: evaluate the full search's round
+			// with declaration-order priorities.
+			noHopa := core.DefaultConfig(app, arch)
+			noHopa.Round = full.Best.Config.Round.Clone()
+			if err := noHopa.Normalize(app); err != nil {
+				return nil, err
+			}
+			aNoHopa, err := core.Analyze(app, arch, noHopa)
+			if err != nil {
+				return nil, err
+			}
+			if aNoHopa.Schedulable {
+				row.NoHOPA++
+			}
+			row.NoHOPADelta += float64(aNoHopa.Delta)
+
+			// HOPA without the slot search: ascending minimal round.
+			base := core.DefaultConfig(app, arch)
+			if err := base.Normalize(app); err != nil {
+				return nil, err
+			}
+			pr, err := hopa.Assign(app, arch, base.Round, opts.OR.OS.HOPAIterations)
+			if err != nil {
+				return nil, err
+			}
+			base.ProcPriority = pr.ProcPriority
+			base.MsgPriority = pr.MsgPriority
+			aNoSlot, err := core.Analyze(app, arch, base)
+			if err != nil {
+				return nil, err
+			}
+			if aNoSlot.Schedulable {
+				row.NoSlotSearch++
+			}
+			row.NoSlotDelta += float64(aNoSlot.Delta)
+
+			// Full heuristic, offset-blind analysis: zeroing the
+			// transaction IDs makes every activity pairwise unrelated,
+			// which drops all offset separation (O_ij = 0 everywhere).
+			aNoOff, err := analyzeOffsetBlind(app, arch, full.Best.Config)
+			if err != nil {
+				return nil, err
+			}
+			if aNoOff.Schedulable {
+				row.NoOffsets++
+			}
+			row.NoOffsetsDelta += float64(aNoOff.Delta)
+			opts.progressf("ablation nodes=%d seed=%d done", nodes, seed)
+		}
+		if row.Count > 0 {
+			n := float64(row.Count)
+			row.FullDelta /= n
+			row.NoHOPADelta /= n
+			row.NoSlotDelta /= n
+			row.NoOffsetsDelta /= n
+		}
+		rows = append(rows, row)
+	}
+	return rows, nil
+}
+
+// analyzeOffsetBlind re-runs the analysis with the offset-based
+// interference reduction disabled (core.AnalyzeOffsetBlind): every
+// activity is treated as phase-unrelated, the classic critical-instant
+// assumption. The gap to the full analysis is the value of §4's offset
+// refinement.
+func analyzeOffsetBlind(app *model.Application, arch *model.Architecture, cfg *core.Config) (*core.Analysis, error) {
+	return core.AnalyzeOffsetBlind(app, arch, cfg)
+}
+
+// PrintAblation renders the ablation table.
+func PrintAblation(w io.Writer, rows []AblationRow) {
+	fmt.Fprintln(w, "Ablation - contribution of each synthesis ingredient (schedulable count | avg delta)")
+	fmt.Fprintf(w, "%8s %8s | %16s %16s %16s %16s\n", "procs", "apps", "full OS", "no HOPA", "no slot search", "offset-blind")
+	for _, r := range rows {
+		fmt.Fprintf(w, "%8d %8d | %4d %11.0f %4d %11.0f %4d %11.0f %4d %11.0f\n",
+			r.Procs, r.Count,
+			r.Full, r.FullDelta,
+			r.NoHOPA, r.NoHOPADelta,
+			r.NoSlotSearch, r.NoSlotDelta,
+			r.NoOffsets, r.NoOffsetsDelta)
+	}
+}

@@ -1,0 +1,34 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestAblationSmoke(t *testing.T) {
+	opts := tiny()
+	rows, err := Ablation(opts)
+	if err != nil {
+		t.Fatalf("Ablation: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Count != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	// The full heuristic is never worse than its crippled variants on
+	// average delta.
+	if r.FullDelta > r.NoHOPADelta+1e-9 {
+		t.Errorf("full OS delta %.0f worse than no-HOPA %.0f", r.FullDelta, r.NoHOPADelta)
+	}
+	// The offset-blind analysis is conservative: it can only lose
+	// schedulable systems, never gain them.
+	if r.NoOffsets > r.Full {
+		t.Errorf("offset-blind schedulables %d exceed full %d", r.NoOffsets, r.Full)
+	}
+	var buf bytes.Buffer
+	PrintAblation(&buf, rows)
+	if !strings.Contains(buf.String(), "Ablation") {
+		t.Error("table header missing")
+	}
+}

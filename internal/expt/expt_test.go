@@ -1,0 +1,171 @@
+package expt
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"repro/internal/opt"
+)
+
+// tiny keeps the smoke tests fast: one size, two seeds, short SA.
+func tiny() Options {
+	return Options{
+		Sizes:        []int{2},
+		Seeds:        2,
+		Inter:        []int{10},
+		SAIterations: 40,
+		OR:           opt.OROptions{MaxIterations: 6, NeighborBudget: 8, Seeds: 2},
+	}
+}
+
+func TestFig9aSmoke(t *testing.T) {
+	rows, err := Fig9a(tiny())
+	if err != nil {
+		t.Fatalf("Fig9a: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Procs != 80 || rows[0].Count != 2 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	for _, r := range rows {
+		if r.Usable > 0 {
+			// SAS is the reference: deviations cannot be negative by
+			// construction only for OS... SF and OS are never better
+			// than the best-of(SF-seeded, OS-seeded) SAS run by more
+			// than rounding, so allow tiny negatives.
+			if r.OSDev < -1e-9 && r.OSDev < r.SFDev-1e-9 {
+				t.Errorf("suspicious deviations: %+v", r)
+			}
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig9a(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 9a") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFig9bSmoke(t *testing.T) {
+	rows, err := Fig9b(tiny())
+	if err != nil {
+		t.Fatalf("Fig9b: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	r := rows[0]
+	if r.Usable > 0 {
+		if r.ORAvg > r.OSAvg {
+			t.Errorf("OR average %f exceeds OS average %f", r.ORAvg, r.OSAvg)
+		}
+		if r.SARAvg <= 0 || r.OSAvg <= 0 {
+			t.Errorf("non-positive buffer averages: %+v", r)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFig9b(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 9b") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFig9cSmoke(t *testing.T) {
+	rows, err := Fig9c(tiny())
+	if err != nil {
+		t.Fatalf("Fig9c: %v", err)
+	}
+	if len(rows) != 1 || rows[0].Inter != 10 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	var buf bytes.Buffer
+	PrintFig9c(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 9c") {
+		t.Error("table header missing")
+	}
+}
+
+func TestFigure4Table(t *testing.T) {
+	rows, err := Figure4()
+	if err != nil {
+		t.Fatalf("Figure4: %v", err)
+	}
+	if len(rows) != 4 {
+		t.Fatalf("panels = %d, want 4", len(rows))
+	}
+	want := map[string]struct {
+		resp  int64
+		sched bool
+	}{
+		"a": {250, false}, "b": {230, false}, "c": {210, false}, "d": {190, true},
+	}
+	for _, r := range rows {
+		w := want[r.Panel]
+		if r.Response != w.resp || r.Schedulable != w.sched {
+			t.Errorf("panel %s: resp=%d sched=%v, want %d %v", r.Panel, r.Response, r.Schedulable, w.resp, w.sched)
+		}
+	}
+	var buf bytes.Buffer
+	PrintFigure4(&buf, rows)
+	if !strings.Contains(buf.String(), "Fig 4") {
+		t.Error("table header missing")
+	}
+}
+
+func TestCruiseTable(t *testing.T) {
+	if testing.Short() {
+		t.Skip("full cruise sweep")
+	}
+	rows, err := Cruise(tiny())
+	if err != nil {
+		t.Fatalf("Cruise: %v", err)
+	}
+	byName := map[string]CruiseRow{}
+	for _, r := range rows {
+		byName[r.Name] = r
+	}
+	if byName["SF"].Schedulable {
+		t.Error("SF must miss the cruise deadline")
+	}
+	if !byName["OS"].Schedulable {
+		t.Error("OS must schedule the cruise controller")
+	}
+	if !byName["OR"].Schedulable || byName["OR"].STotal > byName["OS"].STotal {
+		t.Errorf("OR must keep schedulability and not increase buffers: %+v", byName["OR"])
+	}
+	var buf bytes.Buffer
+	PrintCruise(&buf, rows)
+	if !strings.Contains(buf.String(), "Cruise controller") {
+		t.Error("table header missing")
+	}
+}
+
+func TestRuntimesSmoke(t *testing.T) {
+	opts := tiny()
+	rows, err := Runtimes(opts)
+	if err != nil {
+		t.Fatalf("Runtimes: %v", err)
+	}
+	if len(rows) != 1 {
+		t.Fatalf("rows = %+v", rows)
+	}
+	if rows[0].OS <= 0 || rows[0].SAS <= 0 {
+		t.Error("timings missing")
+	}
+	var buf bytes.Buffer
+	PrintRuntimes(&buf, rows, opts.SAIterations)
+	if !strings.Contains(buf.String(), "Run times") {
+		t.Error("table header missing")
+	}
+}
+
+func TestDeviationPct(t *testing.T) {
+	if d := deviationPct(150, 100); d != 50 {
+		t.Errorf("deviationPct(150,100) = %f", d)
+	}
+	if d := deviationPct(-50, -100); d != 50 {
+		t.Errorf("deviationPct(-50,-100) = %f (less slack = worse)", d)
+	}
+	if d := deviationPct(5, 0); d != 500 {
+		t.Errorf("deviationPct(5,0) = %f", d)
+	}
+}

@@ -1,0 +1,236 @@
+package gateway
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+	"repro/internal/ttp"
+)
+
+// fig4Params reproduces the Figure 4(a) platform: round = [S_G:20, S_1:20],
+// 1 tick per byte (so S_G carries 20 bytes per round).
+func fig4Params() TTPQueueParams {
+	return TTPQueueParams{
+		Round:       ttp.Round{Slots: []ttp.Slot{{Node: 2, Length: 20}, {Node: 0, Length: 20}}},
+		GatewaySlot: 0,
+		TickPerByte: 1,
+		Horizon:     1 << 40,
+	}
+}
+
+// TestFig4aM3 follows m3 of the §4.2 example: it enters OutTTP at offset
+// 160 (sender response + CAN leg + gateway transfer), alone in the queue.
+// The next S_G starts exactly at 160, so w = 0 and the message is
+// delivered at 160 + 20 = 180, which is where the schedule places P4.
+func TestFig4aM3(t *testing.T) {
+	msgs := []QueueMsg{{Name: "m3", Size: 4, T: 240, O: 160, J: 0, Priority: 3, Trans: 1}}
+	res, err := AnalyzeOutTTP(msgs, fig4Params())
+	if err != nil {
+		t.Fatalf("AnalyzeOutTTP: %v", err)
+	}
+	if res[0].W != 0 || res[0].I != 0 {
+		t.Errorf("w=%d I=%d, want 0, 0", res[0].W, res[0].I)
+	}
+	if res[0].R != 20 { // delivered one slot length after entering
+		t.Errorf("R=%d, want 20", res[0].R)
+	}
+	if b, crit := OutTTPBufferBound(msgs, res); b != 4 || crit != 0 {
+		t.Errorf("buffer bound = %d, want 4", b)
+	}
+}
+
+// TestBlockingWaitsForSlot checks B_m: entering one tick after S_G's
+// start costs almost a full round.
+func TestBlockingWaitsForSlot(t *testing.T) {
+	msgs := []QueueMsg{{Name: "m", Size: 4, T: 240, O: 161, J: 0, Priority: 1, Trans: 1}}
+	res, err := AnalyzeOutTTP(msgs, fig4Params())
+	if err != nil {
+		t.Fatalf("AnalyzeOutTTP: %v", err)
+	}
+	if res[0].W != 39 {
+		t.Errorf("w=%d, want 39 (wait until the next round's S_G)", res[0].W)
+	}
+}
+
+// TestCapacityOverflowAddsRounds: two higher-priority 12-byte messages
+// ahead of an 8-byte message exceed one 20-byte S_G slot, forcing an
+// extra round of delay.
+func TestCapacityOverflowAddsRounds(t *testing.T) {
+	msgs := []QueueMsg{
+		{Name: "a", Size: 12, T: 240, O: 0, J: 0, Priority: 1, Trans: 1},
+		{Name: "b", Size: 12, T: 240, O: 0, J: 0, Priority: 2, Trans: 1},
+		{Name: "c", Size: 8, T: 240, O: 0, J: 0, Priority: 3, Trans: 1},
+	}
+	res, err := AnalyzeOutTTP(msgs, fig4Params())
+	if err != nil {
+		t.Fatalf("AnalyzeOutTTP: %v", err)
+	}
+	// c has 24 bytes ahead: needs ceil(32/20)=2 slots -> one extra round.
+	if res[2].I != 24 {
+		t.Errorf("I(c) = %d, want 24", res[2].I)
+	}
+	if res[2].W != 40 {
+		t.Errorf("w(c) = %d, want 40 (one extra round)", res[2].W)
+	}
+	// a needs only the first slot.
+	if res[0].W != 0 {
+		t.Errorf("w(a) = %d, want 0", res[0].W)
+	}
+	// b: 12 bytes ahead, 24 total -> 2 slots.
+	if res[1].W != 40 {
+		t.Errorf("w(b) = %d, want 40", res[1].W)
+	}
+	if b, crit := OutTTPBufferBound(msgs, res); b != 32 || crit != 2 {
+		t.Errorf("buffer bound = %d, want 32", b)
+	}
+}
+
+func TestOutTTPValidation(t *testing.T) {
+	p := fig4Params()
+	if _, err := AnalyzeOutTTP([]QueueMsg{{Size: 25, T: 10, Priority: 0}}, p); err == nil {
+		t.Error("accepted message larger than S_G capacity")
+	}
+	if _, err := AnalyzeOutTTP([]QueueMsg{{Size: 0, T: 10, Priority: 0}}, p); err == nil {
+		t.Error("accepted zero-size message")
+	}
+	if _, err := AnalyzeOutTTP([]QueueMsg{{Size: 4, T: 0, Priority: 0}}, p); err == nil {
+		t.Error("accepted zero period")
+	}
+	p.Horizon = 0
+	if _, err := AnalyzeOutTTP(nil, p); err == nil {
+		t.Error("accepted zero horizon")
+	}
+	p = fig4Params()
+	p.GatewaySlot = 5
+	if _, err := AnalyzeOutTTP(nil, p); err == nil {
+		t.Error("accepted out-of-range gateway slot")
+	}
+	p = fig4Params()
+	p.TickPerByte = 100 // slot capacity 0
+	if _, err := AnalyzeOutTTP([]QueueMsg{{Size: 1, T: 10, Priority: 0}}, p); err == nil {
+		t.Error("accepted zero-capacity gateway slot")
+	}
+}
+
+func TestCANQueueBufferBound(t *testing.T) {
+	// Fig 4a OutCAN: m1 and m2 both enter at offset 80 with jitter 5
+	// (r_T). m2's CAN delay is 10, during which m1 is also queued:
+	// bound = 8 + 8 = 16 bytes.
+	msgs := []CANQueueMsg{
+		{QueueMsg: QueueMsg{Name: "m1", Size: 8, T: 240, O: 80, J: 5, Priority: 1, Trans: 1}, W: 0},
+		{QueueMsg: QueueMsg{Name: "m2", Size: 8, T: 240, O: 80, J: 5, Priority: 2, Trans: 1}, W: 10},
+	}
+	if b, crit := CANQueueBufferBound(msgs); b != 16 || crit != 1 {
+		t.Errorf("bound = %d (crit %d), want 16 at m2", b, crit)
+	}
+	// A single message: the bound is its own size.
+	if b, _ := CANQueueBufferBound(msgs[:1]); b != 8 {
+		t.Errorf("bound = %d, want 8", b)
+	}
+	if b, crit := CANQueueBufferBound(nil); b != 0 || crit != -1 {
+		t.Errorf("bound = %d, want 0 for an empty queue", b)
+	}
+}
+
+// TestCANQueueOffsetSeparation: when the higher-priority message is
+// released long after m's queuing window, it does not inflate the queue.
+func TestCANQueueOffsetSeparation(t *testing.T) {
+	msgs := []CANQueueMsg{
+		{QueueMsg: QueueMsg{Name: "hp", Size: 8, T: 240, O: 200, J: 0, Priority: 1, Trans: 1}, W: 0},
+		{QueueMsg: QueueMsg{Name: "lo", Size: 8, T: 240, O: 0, J: 0, Priority: 2, Trans: 1}, W: 10},
+	}
+	if b, _ := CANQueueBufferBound(msgs); b != 8 {
+		t.Errorf("bound = %d, want 8 (hp outside the window)", b)
+	}
+	// Unrelated transactions: worst phasing, both counted.
+	msgs[0].Trans = 2
+	if b, _ := CANQueueBufferBound(msgs); b != 16 {
+		t.Errorf("bound = %d, want 16 for unrelated transactions", b)
+	}
+}
+
+// Property: the OutTTP bound is always at least the size of every
+// message, and delays grow monotonically with interference load.
+func TestPropertyOutTTPBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		p := fig4Params()
+		n := 1 + r.Intn(4)
+		msgs := make([]QueueMsg, n)
+		for i := range msgs {
+			msgs[i] = QueueMsg{
+				Size:     1 + r.Intn(16),
+				T:        model.Time(120 * (1 + r.Intn(3))),
+				O:        model.Time(r.Intn(100)),
+				J:        model.Time(r.Intn(30)),
+				Priority: i,
+				Trans:    r.Intn(2),
+			}
+		}
+		res, err := AnalyzeOutTTP(msgs, p)
+		if err != nil {
+			return false
+		}
+		bound, _ := OutTTPBufferBound(msgs, res)
+		for i := range msgs {
+			if bound < msgs[i].Size {
+				return false
+			}
+			if res[i].Converged && res[i].W < 0 {
+				return false
+			}
+			// Delivery takes at least one slot length.
+			if res[i].R < res[i].W+p.Round.Slots[p.GatewaySlot].Length {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}
+
+// Property: widening the S_G slot at the expense of the other slot
+// (keeping the round period and the slot phases fixed) never increases
+// any OutTTP queuing delay.
+func TestPropertyWiderSlotHelps(t *testing.T) {
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n := 2 + r.Intn(3)
+		msgs := make([]QueueMsg, n)
+		for i := range msgs {
+			msgs[i] = QueueMsg{
+				Size:     1 + r.Intn(16),
+				T:        1000,
+				O:        model.Time(r.Intn(100)),
+				J:        model.Time(r.Intn(20)),
+				Priority: i,
+				Trans:    1,
+			}
+		}
+		narrow := fig4Params() // S_G:20 S_1:20, period 40
+		wide := fig4Params()
+		wide.Round.Slots[0].Length = 30 // S_G grows...
+		wide.Round.Slots[1].Length = 10 // ...S_1 shrinks: same period
+		rn, err := AnalyzeOutTTP(msgs, narrow)
+		if err != nil {
+			return false
+		}
+		rw, err := AnalyzeOutTTP(msgs, wide)
+		if err != nil {
+			return false
+		}
+		for i := range msgs {
+			if rw[i].W > rn[i].W {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 150}); err != nil {
+		t.Error(err)
+	}
+}

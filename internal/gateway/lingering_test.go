@@ -1,0 +1,62 @@
+package gateway
+
+import (
+	"testing"
+)
+
+// TestLingeringEarlierOffsetCounted is the regression test for the
+// soundness gap the simulator exposed (DESIGN.md decision 7): a
+// higher-priority message of the same transaction released at an
+// *earlier* offset can still sit in the OutTTP queue when a later
+// message enters, so it must be counted among the bytes ahead even
+// though the paper's forward window never reaches its (wrapped)
+// relative offset.
+func TestLingeringEarlierOffsetCounted(t *testing.T) {
+	p := fig4Params() // round [S_G:20, S_1:20], capacity 20 bytes
+	msgs := []QueueMsg{
+		// hp enters at offset 100 with a long residence: jitter 30 keeps
+		// it possibly queued until its drain.
+		{Name: "hp", Size: 12, T: 240, O: 100, J: 30, Priority: 1, Trans: 1},
+		// lo enters at 120: hp's relative offset is (100-120) mod 240 =
+		// 220, far beyond any forward window, yet hp can still be queued.
+		{Name: "lo", Size: 12, T: 240, O: 120, J: 0, Priority: 2, Trans: 1},
+	}
+	res, err := AnalyzeOutTTP(msgs, p)
+	if err != nil {
+		t.Fatalf("AnalyzeOutTTP: %v", err)
+	}
+	if res[1].I < 12 {
+		t.Errorf("I(lo) = %d, want >= 12: the lingering hp instance must count", res[1].I)
+	}
+	// 24 bytes do not fit one 20-byte S_G slot: one extra round.
+	if res[1].W < p.Round.Period() {
+		t.Errorf("w(lo) = %d, want >= one round (%d)", res[1].W, p.Round.Period())
+	}
+	bound, _ := OutTTPBufferBound(msgs, res)
+	if bound < 24 {
+		t.Errorf("buffer bound = %d, want >= 24 (both queued together)", bound)
+	}
+}
+
+// TestNoLingeringWhenDrainedEarly: when the earlier message is
+// guaranteed drained before the later one enters, it must not inflate
+// the interference.
+func TestNoLingeringWhenDrainedEarly(t *testing.T) {
+	p := fig4Params()
+	msgs := []QueueMsg{
+		// hp enters at 0 with no jitter: drained in the S_G slot at 0 or
+		// 40 at the latest, long before lo enters at 200.
+		{Name: "hp", Size: 12, T: 240, O: 0, J: 0, Priority: 1, Trans: 1},
+		{Name: "lo", Size: 12, T: 240, O: 200, J: 0, Priority: 2, Trans: 1},
+	}
+	res, err := AnalyzeOutTTP(msgs, p)
+	if err != nil {
+		t.Fatalf("AnalyzeOutTTP: %v", err)
+	}
+	if res[1].I != 0 {
+		t.Errorf("I(lo) = %d, want 0 (hp drained 200 ticks earlier)", res[1].I)
+	}
+	if res[1].W != 0 {
+		t.Errorf("w(lo) = %d, want 0 (entry at an S_G start)", res[1].W)
+	}
+}

@@ -1,0 +1,388 @@
+// Package gen generates random two-cluster applications with the
+// published parameters of the paper's evaluation (§6): 2-10 nodes split
+// evenly between the TTC and the ETC plus a gateway, 40 processes per
+// node, message sizes uniform in 8-32 bytes, worst-case execution times
+// drawn from uniform or exponential distributions, and - for the Fig. 9c
+// experiment - a controlled number of inter-cluster messages.
+//
+// Everything is driven by a single seed and fully deterministic.
+package gen
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"repro/internal/can"
+	"repro/internal/model"
+)
+
+// Dist selects the WCET distribution.
+type Dist int
+
+const (
+	// Uniform draws WCETs uniformly from [WCETMin, WCETMax].
+	Uniform Dist = iota
+	// Exponential draws WCETs exponentially with mean
+	// (WCETMin+WCETMax)/2, clamped to [WCETMin, 4*WCETMax].
+	Exponential
+)
+
+// Spec parameterizes the generator. Zero values select the defaults
+// noted per field.
+type Spec struct {
+	Seed    int64 // default 1
+	TTNodes int   // default 1
+	ETNodes int   // default 1
+	// ProcsPerNode is the paper's 40 (default 40).
+	ProcsPerNode int
+	// ProcsPerGraph controls how many process graphs are created
+	// (default 10 processes per graph).
+	ProcsPerGraph int
+	// Period is the common graph period (default 1000000 ticks: the
+	// fine time base lets the CAN bit time hit its utilization target
+	// even with hundreds of messages). All graphs share it unless
+	// MultiRate is set, in which case every second graph runs at
+	// Period/2.
+	Period    model.Time
+	MultiRate bool
+	// DeadlineFrac scales the end-to-end deadlines: D = frac * T
+	// (default 0.9). Tighter fractions make SF fail more often.
+	DeadlineFrac float64
+	// MsgSizeMin/Max bound the message payloads (defaults 8 and 32).
+	MsgSizeMin, MsgSizeMax int
+	// WCETMin/Max bound the raw WCETs before load scaling (defaults 10
+	// and 100).
+	WCETMin, WCETMax model.Time
+	// WCETDist selects the distribution (default Uniform).
+	WCETDist Dist
+	// EdgeProb adds extra forward edges beyond the layer skeleton
+	// (default 0.25).
+	EdgeProb float64
+	// HomeBias is the probability that a process is mapped on its
+	// graph's home cluster (default 0.9). Graphs alternate home
+	// clusters; the bias keeps inter-cluster traffic at the scale the
+	// paper's Fig. 9c explores (tens of messages, not hundreds).
+	HomeBias float64
+	// CPUUtil is the per-node utilization target the WCETs are rescaled
+	// to (default 0.2; the holistic jitter propagation makes higher
+	// loads hopeless for every heuristic, see EXPERIMENTS.md).
+	CPUUtil float64
+	// BusUtil is the CAN bus utilization target used to derive the bit
+	// time (default 0.35).
+	BusUtil float64
+	// InterClusterMsgs forces the number of messages crossing the
+	// gateway (0 keeps the natural count of the random mapping).
+	InterClusterMsgs int
+	// GatewayCost is C_T (default 2 ticks).
+	GatewayCost model.Time
+}
+
+func (s *Spec) defaults() {
+	if s.Seed == 0 {
+		s.Seed = 1
+	}
+	if s.TTNodes <= 0 {
+		s.TTNodes = 1
+	}
+	if s.ETNodes <= 0 {
+		s.ETNodes = 1
+	}
+	if s.ProcsPerNode <= 0 {
+		s.ProcsPerNode = 40
+	}
+	if s.ProcsPerGraph <= 0 {
+		s.ProcsPerGraph = 10
+	}
+	if s.Period <= 0 {
+		s.Period = 1000000
+	}
+	if s.DeadlineFrac <= 0 || s.DeadlineFrac > 1 {
+		s.DeadlineFrac = 0.9
+	}
+	if s.MsgSizeMin <= 0 {
+		s.MsgSizeMin = 8
+	}
+	if s.MsgSizeMax < s.MsgSizeMin {
+		s.MsgSizeMax = 32
+	}
+	if s.WCETMin <= 0 {
+		s.WCETMin = 10
+	}
+	if s.WCETMax < s.WCETMin {
+		s.WCETMax = 100
+	}
+	if s.EdgeProb <= 0 {
+		s.EdgeProb = 0.25
+	}
+	if s.HomeBias <= 0 || s.HomeBias > 1 {
+		s.HomeBias = 0.9
+	}
+	if s.CPUUtil <= 0 {
+		s.CPUUtil = 0.2
+	}
+	if s.BusUtil <= 0 {
+		s.BusUtil = 0.2
+	}
+	if s.GatewayCost <= 0 {
+		s.GatewayCost = 2
+	}
+}
+
+// Generate builds a system according to the spec.
+func Generate(spec Spec) (*model.System, error) {
+	spec.defaults()
+	rng := rand.New(rand.NewSource(spec.Seed))
+	arch, err := model.NewTwoClusterArchitecture(model.ArchSpec{
+		Name:        fmt.Sprintf("gen-%dTT-%dET-seed%d", spec.TTNodes, spec.ETNodes, spec.Seed),
+		TTNodes:     spec.TTNodes,
+		ETNodes:     spec.ETNodes,
+		TickPerByte: 1,
+		CANBitTime:  1, // adjusted after the traffic is known
+		GatewayCost: spec.GatewayCost,
+	})
+	if err != nil {
+		return nil, err
+	}
+	app := model.NewApplication(arch.Name)
+	total := spec.ProcsPerNode * (spec.TTNodes + spec.ETNodes)
+	graphs := (total + spec.ProcsPerGraph - 1) / spec.ProcsPerGraph
+
+	nodes := append(arch.TTNodes(), arch.ETNodes()...)
+	remaining := total
+	for g := 0; g < graphs; g++ {
+		count := spec.ProcsPerGraph
+		if count > remaining {
+			count = remaining
+		}
+		remaining -= count
+		period := spec.Period
+		if spec.MultiRate && g%2 == 1 {
+			period = spec.Period / 2
+		}
+		deadline := model.Time(float64(period) * spec.DeadlineFrac)
+		buildGraph(app, rng, &spec, g, count, period, deadline, arch)
+	}
+	if spec.InterClusterMsgs > 0 {
+		adjustInterCluster(app, arch, rng, spec.InterClusterMsgs, nodes)
+	}
+	scaleWCETs(app, arch, spec.CPUUtil)
+	tuneCANBitTime(app, arch, spec.BusUtil)
+	if err := app.Finalize(arch); err != nil {
+		return nil, err
+	}
+	return &model.System{Architecture: arch, Application: app}, nil
+}
+
+// buildGraph creates one layered random DAG. Processes prefer the
+// graph's home cluster (graphs alternate homes), which keeps the
+// gateway traffic at a realistic scale.
+func buildGraph(app *model.Application, rng *rand.Rand, spec *Spec, g, count int, period, deadline model.Time, arch *model.Architecture) {
+	gi := app.AddGraph(fmt.Sprintf("G%d", g), period, deadline)
+	home, away := arch.TTNodes(), arch.ETNodes()
+	if g%2 == 1 {
+		home, away = away, home
+	}
+	layers := 3 + rng.Intn(4) // 3..6
+	if layers > count {
+		layers = count
+	}
+	// Distribute processes over layers (each layer >= 1).
+	layerOf := make([]int, count)
+	for i := range layerOf {
+		if i < layers {
+			layerOf[i] = i
+		} else {
+			layerOf[i] = rng.Intn(layers)
+		}
+	}
+	ids := make([]model.ProcID, count)
+	for i := 0; i < count; i++ {
+		side := home
+		if rng.Float64() > spec.HomeBias {
+			side = away
+		}
+		node := side[rng.Intn(len(side))]
+		wcet := drawWCET(rng, spec)
+		ids[i] = app.AddProcess(gi, fmt.Sprintf("G%dP%d", g, i), wcet, node)
+	}
+	// Layer skeleton: every process beyond layer 0 gets one predecessor
+	// from the previous layer.
+	byLayer := make([][]int, layers)
+	for i, l := range layerOf {
+		byLayer[l] = append(byLayer[l], i)
+	}
+	edgeID := 0
+	addEdge := func(src, dst int) {
+		name := fmt.Sprintf("G%dm%d", g, edgeID)
+		edgeID++
+		size := spec.MsgSizeMin + rng.Intn(spec.MsgSizeMax-spec.MsgSizeMin+1)
+		app.AddEdge(name, ids[src], ids[dst], size)
+	}
+	for l := 1; l < layers; l++ {
+		if len(byLayer[l-1]) == 0 {
+			continue
+		}
+		for _, i := range byLayer[l] {
+			src := byLayer[l-1][rng.Intn(len(byLayer[l-1]))]
+			addEdge(src, i)
+		}
+	}
+	// Extra forward edges.
+	for l := 0; l < layers-1; l++ {
+		for _, i := range byLayer[l] {
+			for l2 := l + 1; l2 < layers; l2++ {
+				for _, j := range byLayer[l2] {
+					if rng.Float64() < spec.EdgeProb/float64(count) {
+						addEdge(i, j)
+					}
+				}
+			}
+		}
+	}
+}
+
+func drawWCET(rng *rand.Rand, spec *Spec) model.Time {
+	switch spec.WCETDist {
+	case Exponential:
+		mean := float64(spec.WCETMin+spec.WCETMax) / 2
+		v := model.Time(rng.ExpFloat64() * mean)
+		if v < spec.WCETMin {
+			v = spec.WCETMin
+		}
+		if v > 4*spec.WCETMax {
+			v = 4 * spec.WCETMax
+		}
+		return v
+	default:
+		return spec.WCETMin + model.Time(rng.Int63n(int64(spec.WCETMax-spec.WCETMin+1)))
+	}
+}
+
+// adjustInterCluster remaps processes until the number of edges crossing
+// the gateway matches the target (the Fig. 9c knob).
+func adjustInterCluster(app *model.Application, arch *model.Architecture, rng *rand.Rand, target int, nodes []model.NodeID) {
+	tt := arch.TTNodes()
+	et := arch.ETNodes()
+	crossing := func() []model.EdgeID { return app.GatewayEdges(arch) }
+	sameSideEdges := func() []model.EdgeID {
+		var out []model.EdgeID
+		for _, e := range app.Edges {
+			r := app.RouteOf(e.ID, arch)
+			if r == model.RouteLocal || r == model.RouteTTP || r == model.RouteCAN {
+				out = append(out, e.ID)
+			}
+		}
+		return out
+	}
+	for iter := 0; iter < 10000; iter++ {
+		cur := crossing()
+		if len(cur) == target {
+			return
+		}
+		if len(cur) > target {
+			// Pull one crossing edge's destination to the source side.
+			e := cur[rng.Intn(len(cur))]
+			src := app.Procs[app.Edges[e].Src].Node
+			side := tt
+			if arch.Kind(src) == model.EventTriggered {
+				side = et
+			}
+			app.Procs[app.Edges[e].Dst].Node = side[rng.Intn(len(side))]
+		} else {
+			// Push one same-side edge's destination to the other side.
+			cands := sameSideEdges()
+			if len(cands) == 0 {
+				return
+			}
+			e := cands[rng.Intn(len(cands))]
+			src := app.Procs[app.Edges[e].Src].Node
+			side := et
+			if arch.Kind(src) == model.EventTriggered {
+				side = tt
+			}
+			app.Procs[app.Edges[e].Dst].Node = side[rng.Intn(len(side))]
+		}
+	}
+}
+
+// scaleWCETs rescales the execution times on every node to the target
+// utilization, keeping each WCET at least 1.
+func scaleWCETs(app *model.Application, arch *model.Architecture, target float64) {
+	load := make(map[model.NodeID]float64)
+	for i := range app.Procs {
+		p := &app.Procs[i]
+		load[p.Node] += float64(p.WCET) / float64(app.PeriodOf(p.ID))
+	}
+	for i := range app.Procs {
+		p := &app.Procs[i]
+		u := load[p.Node]
+		if u <= 0 {
+			continue
+		}
+		scaled := model.Time(math.Round(float64(p.WCET) * target / u))
+		if scaled < 1 {
+			scaled = 1
+		}
+		p.WCET = scaled
+	}
+}
+
+// tuneCANBitTime sets the CAN bit time so the bus utilization of all
+// CAN-leg messages approximates the target.
+func tuneCANBitTime(app *model.Application, arch *model.Architecture, target float64) {
+	var load float64 // bits per tick at bit time 1
+	for _, e := range app.Edges {
+		if !app.RouteOf(e.ID, arch).UsesCAN() {
+			continue
+		}
+		load += float64(can.MessageBits(e.Size)) / float64(app.EdgePeriod(e.ID))
+	}
+	if load <= 0 {
+		return
+	}
+	bit := model.Time(target / load)
+	if bit < 1 {
+		bit = 1
+	}
+	arch.CAN.BitTime = bit
+}
+
+// Paper builds one of the §6 evaluation systems: nodes = 2, 4, 6, 8 or
+// 10 (split half TTC half ETC), 40 processes per node. The WCET
+// distribution alternates uniform/exponential with the seed, mirroring
+// "assigned randomly using both uniform and exponential distribution".
+func Paper(nodes int, seed int64) (*model.System, error) {
+	if nodes%2 != 0 || nodes < 2 {
+		return nil, fmt.Errorf("gen: paper experiments use even node counts >= 2, got %d", nodes)
+	}
+	dist := Uniform
+	if seed%2 == 0 {
+		dist = Exponential
+	}
+	return Generate(Spec{
+		Seed:     seed,
+		TTNodes:  nodes / 2,
+		ETNodes:  nodes / 2,
+		WCETDist: dist,
+	})
+}
+
+// Fig9c builds a 160-process system (4 nodes) with exactly inter
+// messages crossing the gateway, the workload of the paper's Fig. 9c.
+func Fig9c(inter int, seed int64) (*model.System, error) {
+	if inter <= 0 {
+		return nil, fmt.Errorf("gen: need a positive inter-cluster message count")
+	}
+	dist := Uniform
+	if seed%2 == 0 {
+		dist = Exponential
+	}
+	return Generate(Spec{
+		Seed:             seed,
+		TTNodes:          2,
+		ETNodes:          2,
+		WCETDist:         dist,
+		InterClusterMsgs: inter,
+	})
+}

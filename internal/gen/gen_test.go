@@ -1,0 +1,178 @@
+package gen
+
+import (
+	"testing"
+	"testing/quick"
+
+	"repro/internal/model"
+)
+
+func TestGenerateDefaults(t *testing.T) {
+	sys, err := Generate(Spec{Seed: 7, TTNodes: 2, ETNodes: 2})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	app, arch := sys.Application, sys.Architecture
+	if got, want := len(app.Procs), 40*4; got != want {
+		t.Errorf("processes = %d, want %d", got, want)
+	}
+	if err := app.Validate(arch); err != nil {
+		t.Fatalf("generated application invalid: %v", err)
+	}
+	for _, e := range app.Edges {
+		if e.Size < 8 || e.Size > 32 {
+			t.Fatalf("message %s has size %d outside [8,32]", e.Name, e.Size)
+		}
+	}
+	for _, p := range app.Procs {
+		if p.WCET < 1 {
+			t.Fatalf("process %s has WCET %d", p.Name, p.WCET)
+		}
+	}
+}
+
+func TestGenerateDeterminism(t *testing.T) {
+	a, err := Generate(Spec{Seed: 42, TTNodes: 1, ETNodes: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	b, err := Generate(Spec{Seed: 42, TTNodes: 1, ETNodes: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if len(a.Application.Procs) != len(b.Application.Procs) || len(a.Application.Edges) != len(b.Application.Edges) {
+		t.Fatal("same seed produced different structure")
+	}
+	for i := range a.Application.Procs {
+		pa, pb := a.Application.Procs[i], b.Application.Procs[i]
+		if pa.WCET != pb.WCET || pa.Node != pb.Node {
+			t.Fatalf("process %d differs across runs", i)
+		}
+	}
+	c, err := Generate(Spec{Seed: 43, TTNodes: 1, ETNodes: 1})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	same := len(a.Application.Edges) == len(c.Application.Edges)
+	if same {
+		diff := false
+		for i := range a.Application.Procs {
+			if a.Application.Procs[i].WCET != c.Application.Procs[i].WCET {
+				diff = true
+				break
+			}
+		}
+		same = !diff
+	}
+	if same {
+		t.Error("different seeds produced identical applications")
+	}
+}
+
+func TestUtilizationTargets(t *testing.T) {
+	sys, err := Generate(Spec{Seed: 3, TTNodes: 2, ETNodes: 2, CPUUtil: 0.4})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	u := sys.Application.UtilizationByNode(sys.Architecture)
+	for n, load := range u {
+		if load > 0.55 || load < 0.2 {
+			t.Errorf("node %d utilization %.2f outside the target band around 0.4", n, load)
+		}
+	}
+}
+
+func TestPaperSizes(t *testing.T) {
+	for _, nodes := range []int{2, 4} {
+		sys, err := Paper(nodes, 5)
+		if err != nil {
+			t.Fatalf("Paper(%d): %v", nodes, err)
+		}
+		if got, want := len(sys.Application.Procs), 40*nodes; got != want {
+			t.Errorf("Paper(%d) has %d processes, want %d", nodes, got, want)
+		}
+	}
+	if _, err := Paper(3, 1); err == nil {
+		t.Error("odd node count accepted")
+	}
+	if _, err := Paper(0, 1); err == nil {
+		t.Error("zero node count accepted")
+	}
+}
+
+func TestFig9cInterClusterControl(t *testing.T) {
+	for _, inter := range []int{10, 30, 50} {
+		sys, err := Fig9c(inter, 9)
+		if err != nil {
+			t.Fatalf("Fig9c(%d): %v", inter, err)
+		}
+		got := len(sys.Application.GatewayEdges(sys.Architecture))
+		if got != inter {
+			t.Errorf("Fig9c(%d) produced %d gateway messages", inter, got)
+		}
+		if err := sys.Application.Validate(sys.Architecture); err != nil {
+			t.Fatalf("Fig9c(%d) invalid: %v", inter, err)
+		}
+	}
+	if _, err := Fig9c(0, 1); err == nil {
+		t.Error("non-positive inter-cluster count accepted")
+	}
+}
+
+func TestExponentialWCETs(t *testing.T) {
+	sys, err := Generate(Spec{Seed: 11, TTNodes: 1, ETNodes: 1, WCETDist: Exponential})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	if err := sys.Application.Validate(sys.Architecture); err != nil {
+		t.Fatalf("invalid: %v", err)
+	}
+}
+
+func TestMultiRate(t *testing.T) {
+	sys, err := Generate(Spec{Seed: 13, TTNodes: 1, ETNodes: 1, MultiRate: true, ProcsPerNode: 20})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	app := sys.Application
+	if len(app.Graphs) < 2 {
+		t.Skip("need at least two graphs")
+	}
+	if app.Graphs[0].Period == app.Graphs[1].Period {
+		t.Error("MultiRate did not vary the periods")
+	}
+	h, err := app.Hyperperiod()
+	if err != nil {
+		t.Fatalf("Hyperperiod: %v", err)
+	}
+	if h != app.Graphs[0].Period {
+		t.Errorf("hyperperiod = %d, want %d", h, app.Graphs[0].Period)
+	}
+}
+
+// Property: every generated system validates, regardless of seed and
+// small shape variations.
+func TestPropertyGeneratedSystemsValid(t *testing.T) {
+	f := func(seed int64, ttRaw, etRaw uint8) bool {
+		tt := 1 + int(ttRaw%3)
+		et := 1 + int(etRaw%3)
+		sys, err := Generate(Spec{Seed: seed, TTNodes: tt, ETNodes: et, ProcsPerNode: 10})
+		if err != nil {
+			return false
+		}
+		if err := sys.Application.Validate(sys.Architecture); err != nil {
+			return false
+		}
+		// Structural sanity: sources exist per graph, periods positive.
+		for g := range sys.Application.Graphs {
+			if len(sys.Application.Sources(g)) == 0 {
+				return false
+			}
+		}
+		_ = model.Time(0)
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

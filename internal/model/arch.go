@@ -1,0 +1,61 @@
+package model
+
+import "fmt"
+
+// ArchSpec describes a symmetric two-cluster platform for
+// NewTwoClusterArchitecture. Zero-valued fields fall back to defaults
+// chosen to match the scale of the paper's examples (1 tick = 1 ms is a
+// convenient reading).
+type ArchSpec struct {
+	Name        string
+	TTNodes     int  // number of time-triggered nodes (>= 1)
+	ETNodes     int  // number of event-triggered nodes (>= 1)
+	TickPerByte Time // TTP slot time per byte; default 1
+	CANBitTime  Time // CAN bit duration; default 1 (frame times via package can)
+	GatewayCost Time // C_T; default 1
+	GatewayPoll Time // MBI polling period of T; default 0
+}
+
+// NewTwoClusterArchitecture builds the canonical platform of the paper:
+// TTNodes TT nodes named N1..N_k, ETNodes ET nodes named N_{k+1}.., and a
+// gateway node NG connected to both buses.
+func NewTwoClusterArchitecture(spec ArchSpec) (*Architecture, error) {
+	if spec.TTNodes < 1 || spec.ETNodes < 1 {
+		return nil, fmt.Errorf("model: need at least one node per cluster, got %d TT / %d ET", spec.TTNodes, spec.ETNodes)
+	}
+	if spec.TickPerByte == 0 {
+		spec.TickPerByte = 1
+	}
+	if spec.CANBitTime == 0 {
+		spec.CANBitTime = 1
+	}
+	if spec.GatewayCost == 0 {
+		spec.GatewayCost = 1
+	}
+	name := spec.Name
+	if name == "" {
+		name = fmt.Sprintf("%dTT+%dET", spec.TTNodes, spec.ETNodes)
+	}
+	arch := &Architecture{
+		Name:        name,
+		TTP:         TTPConfig{TickPerByte: spec.TickPerByte},
+		CAN:         CANConfig{BitTime: spec.CANBitTime},
+		GatewayCost: spec.GatewayCost,
+		GatewayPoll: spec.GatewayPoll,
+	}
+	id := NodeID(0)
+	for i := 0; i < spec.TTNodes; i++ {
+		arch.Nodes = append(arch.Nodes, Node{ID: id, Name: fmt.Sprintf("N%d", i+1), Kind: TimeTriggered})
+		id++
+	}
+	for i := 0; i < spec.ETNodes; i++ {
+		arch.Nodes = append(arch.Nodes, Node{ID: id, Name: fmt.Sprintf("N%d", spec.TTNodes+i+1), Kind: EventTriggered})
+		id++
+	}
+	arch.Nodes = append(arch.Nodes, Node{ID: id, Name: "NG", Kind: GatewayNode})
+	arch.Gateway = id
+	if err := ValidateArchitecture(arch); err != nil {
+		return nil, err
+	}
+	return arch, nil
+}

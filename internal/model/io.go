@@ -1,0 +1,65 @@
+package model
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// System bundles an application with the architecture it is mapped on,
+// the on-disk exchange format of the cmd/ tools.
+type System struct {
+	Architecture *Architecture `json:"architecture"`
+	Application  *Application  `json:"application"`
+}
+
+// WriteJSON writes the system as indented JSON.
+func (s *System) WriteJSON(w io.Writer) error {
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(s); err != nil {
+		return fmt.Errorf("model: encoding system: %w", err)
+	}
+	return nil
+}
+
+// ReadJSON parses a system written by WriteJSON and re-validates it.
+func ReadJSON(r io.Reader) (*System, error) {
+	var s System
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&s); err != nil {
+		return nil, fmt.Errorf("model: decoding system: %w", err)
+	}
+	if s.Architecture == nil || s.Application == nil {
+		return nil, fmt.Errorf("model: system file must contain both architecture and application")
+	}
+	if err := s.Application.Finalize(s.Architecture); err != nil {
+		return nil, err
+	}
+	return &s, nil
+}
+
+// SaveFile writes the system to path.
+func (s *System) SaveFile(path string) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	if err := s.WriteJSON(f); err != nil {
+		return err
+	}
+	return f.Close()
+}
+
+// LoadFile reads a system from path.
+func LoadFile(path string) (*System, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	defer f.Close()
+	return ReadJSON(f)
+}

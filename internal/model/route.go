@@ -1,0 +1,88 @@
+package model
+
+import "fmt"
+
+// Route classifies how an edge's message travels through the platform.
+type Route uint8
+
+const (
+	// RouteLocal: both endpoint processes share a node; the communication
+	// time is part of the sender's WCET and no message is generated.
+	RouteLocal Route = iota
+	// RouteTTP: both endpoints on (different) TT nodes; one TTP leg in
+	// the sender's TDMA slot, handled entirely by the static schedule.
+	RouteTTP
+	// RouteCAN: both endpoints on ET nodes; one CAN leg through the
+	// sender node's OutN_i priority queue.
+	RouteCAN
+	// RouteTTtoET: TT sender, ET receiver; a TTP leg in the sender's
+	// slot, the gateway transfer process T, then a CAN leg through the
+	// gateway's OutCAN priority queue.
+	RouteTTtoET
+	// RouteETtoTT: ET sender, TT receiver; a CAN leg to the gateway,
+	// the transfer process T, then the OutTTP FIFO drained by the
+	// gateway slot S_G.
+	RouteETtoTT
+)
+
+// String names the route like the paper's §4.1 cases.
+func (r Route) String() string {
+	switch r {
+	case RouteLocal:
+		return "local"
+	case RouteTTP:
+		return "TT->TT"
+	case RouteCAN:
+		return "ET->ET"
+	case RouteTTtoET:
+		return "TT->ET"
+	case RouteETtoTT:
+		return "ET->TT"
+	}
+	return fmt.Sprintf("Route(%d)", uint8(r))
+}
+
+// UsesCAN reports whether the route includes a CAN bus leg.
+func (r Route) UsesCAN() bool { return r == RouteCAN || r == RouteTTtoET || r == RouteETtoTT }
+
+// UsesTTP reports whether the route includes a statically scheduled TTP
+// leg in the sender's slot (the gateway S_G leg of ET->TT is dynamic and
+// not included here).
+func (r Route) UsesTTP() bool { return r == RouteTTP || r == RouteTTtoET }
+
+// UsesGateway reports whether the route crosses the gateway.
+func (r Route) UsesGateway() bool { return r == RouteTTtoET || r == RouteETtoTT }
+
+// RouteOf classifies edge e on architecture arch.
+func (a *Application) RouteOf(e EdgeID, arch *Architecture) Route {
+	ed := a.Edges[e]
+	sn := a.Procs[ed.Src].Node
+	dn := a.Procs[ed.Dst].Node
+	if sn == dn {
+		return RouteLocal
+	}
+	sk := arch.Kind(sn)
+	dk := arch.Kind(dn)
+	switch {
+	case sk == TimeTriggered && dk == TimeTriggered:
+		return RouteTTP
+	case sk == EventTriggered && dk == EventTriggered:
+		return RouteCAN
+	case sk == TimeTriggered && dk == EventTriggered:
+		return RouteTTtoET
+	default:
+		return RouteETtoTT
+	}
+}
+
+// GatewayEdges returns the edges whose messages cross the gateway, in
+// creation order.
+func (a *Application) GatewayEdges(arch *Architecture) []EdgeID {
+	var out []EdgeID
+	for _, e := range a.Edges {
+		if a.RouteOf(e.ID, arch).UsesGateway() {
+			out = append(out, e.ID)
+		}
+	}
+	return out
+}

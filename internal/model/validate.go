@@ -1,0 +1,131 @@
+package model
+
+import "fmt"
+
+// ValidateArchitecture checks the structural consistency of the platform:
+// node IDs match indices, exactly one gateway exists, at least one TT and
+// one ET node exist, and the bus parameters are positive.
+func ValidateArchitecture(arch *Architecture) error {
+	if len(arch.Nodes) == 0 {
+		return fmt.Errorf("model: architecture %q has no nodes", arch.Name)
+	}
+	gateways := 0
+	tt, et := 0, 0
+	for i, n := range arch.Nodes {
+		if n.ID != NodeID(i) {
+			return fmt.Errorf("model: node %q has ID %d, want %d", n.Name, n.ID, i)
+		}
+		switch n.Kind {
+		case GatewayNode:
+			gateways++
+			if arch.Gateway != n.ID {
+				return fmt.Errorf("model: gateway field %d does not match gateway node %d", arch.Gateway, n.ID)
+			}
+		case TimeTriggered:
+			tt++
+		case EventTriggered:
+			et++
+		default:
+			return fmt.Errorf("model: node %q has unknown kind %d", n.Name, n.Kind)
+		}
+	}
+	if gateways != 1 {
+		return fmt.Errorf("model: architecture %q has %d gateway nodes, want exactly 1", arch.Name, gateways)
+	}
+	if tt == 0 || et == 0 {
+		return fmt.Errorf("model: architecture %q needs at least one TT and one ET node (have %d TT, %d ET)", arch.Name, tt, et)
+	}
+	if arch.TTP.TickPerByte <= 0 {
+		return fmt.Errorf("model: TTP TickPerByte must be positive, got %d", arch.TTP.TickPerByte)
+	}
+	if arch.CAN.BitTime <= 0 {
+		return fmt.Errorf("model: CAN BitTime must be positive, got %d", arch.CAN.BitTime)
+	}
+	if arch.GatewayCost < 0 || arch.GatewayPoll < 0 {
+		return fmt.Errorf("model: gateway cost/poll must be non-negative")
+	}
+	return nil
+}
+
+// Validate checks the application against the architecture: IDs are
+// consistent, graphs are non-empty acyclic sets of processes with valid
+// periods and deadlines, processes are mapped on TT or ET nodes (never on
+// the gateway), edges connect processes of the same graph, and messages
+// crossing nodes carry a positive size.
+func (a *Application) Validate(arch *Architecture) error {
+	if err := ValidateArchitecture(arch); err != nil {
+		return err
+	}
+	if len(a.Graphs) == 0 {
+		return fmt.Errorf("model: application %q has no process graphs", a.Name)
+	}
+	for i, p := range a.Procs {
+		if p.ID != ProcID(i) {
+			return fmt.Errorf("model: process %q has ID %d, want %d", p.Name, p.ID, i)
+		}
+		if p.Graph < 0 || p.Graph >= len(a.Graphs) {
+			return fmt.Errorf("model: process %q references graph %d of %d", p.Name, p.Graph, len(a.Graphs))
+		}
+		if p.WCET <= 0 {
+			return fmt.Errorf("model: process %q has non-positive WCET %d", p.Name, p.WCET)
+		}
+		if p.BCET < 0 || (p.BCET > 0 && p.BCET > p.WCET) {
+			return fmt.Errorf("model: process %q has BCET %d outside (0, WCET=%d]", p.Name, p.BCET, p.WCET)
+		}
+		if p.Node < 0 || int(p.Node) >= len(arch.Nodes) {
+			return fmt.Errorf("model: process %q mapped on unknown node %d", p.Name, p.Node)
+		}
+		if arch.Kind(p.Node) == GatewayNode {
+			return fmt.Errorf("model: process %q mapped on the gateway node; only the transfer process T runs there", p.Name)
+		}
+		if p.Deadline < 0 {
+			return fmt.Errorf("model: process %q has negative local deadline", p.Name)
+		}
+	}
+	for i, e := range a.Edges {
+		if e.ID != EdgeID(i) {
+			return fmt.Errorf("model: edge %q has ID %d, want %d", e.Name, e.ID, i)
+		}
+		if e.Src < 0 || int(e.Src) >= len(a.Procs) || e.Dst < 0 || int(e.Dst) >= len(a.Procs) {
+			return fmt.Errorf("model: edge %q has out-of-range endpoints", e.Name)
+		}
+		if e.Src == e.Dst {
+			return fmt.Errorf("model: edge %q is a self-loop on process %d", e.Name, e.Src)
+		}
+		if a.Procs[e.Src].Graph != a.Procs[e.Dst].Graph {
+			return fmt.Errorf("model: edge %q crosses graphs %d and %d", e.Name, a.Procs[e.Src].Graph, a.Procs[e.Dst].Graph)
+		}
+		if e.Graph != a.Procs[e.Src].Graph {
+			return fmt.Errorf("model: edge %q records graph %d, endpoints are in %d", e.Name, e.Graph, a.Procs[e.Src].Graph)
+		}
+		if a.Procs[e.Src].Node != a.Procs[e.Dst].Node && e.Size <= 0 {
+			return fmt.Errorf("model: edge %q crosses nodes but has size %d bytes", e.Name, e.Size)
+		}
+		if e.CANTime < 0 {
+			return fmt.Errorf("model: edge %q has negative CAN time override", e.Name)
+		}
+	}
+	for g, gr := range a.Graphs {
+		if len(gr.Procs) == 0 {
+			return fmt.Errorf("model: graph %q has no processes", gr.Name)
+		}
+		if gr.Period <= 0 {
+			return fmt.Errorf("model: graph %q has non-positive period %d", gr.Name, gr.Period)
+		}
+		if gr.Deadline <= 0 || gr.Deadline > gr.Period {
+			return fmt.Errorf("model: graph %q needs 0 < deadline <= period, got D=%d T=%d", gr.Name, gr.Deadline, gr.Period)
+		}
+		for _, p := range gr.Procs {
+			if a.Procs[p].Graph != g {
+				return fmt.Errorf("model: graph %q lists process %d of graph %d", gr.Name, p, a.Procs[p].Graph)
+			}
+		}
+		if _, err := a.TopoOrder(g); err != nil {
+			return err
+		}
+	}
+	if _, err := a.Hyperperiod(); err != nil {
+		return err
+	}
+	return nil
+}

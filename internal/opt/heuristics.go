@@ -1,0 +1,308 @@
+package opt
+
+import (
+	"math/rand"
+	"sort"
+
+	"repro/internal/core"
+	"repro/internal/hopa"
+	"repro/internal/model"
+	"repro/internal/tsched"
+)
+
+// Result couples a configuration with its analysis.
+type Result struct {
+	Config   *core.Config
+	Analysis *core.Analysis
+}
+
+// Delta is the degree of schedulability of the result.
+func (r *Result) Delta() model.Time { return r.Analysis.Delta }
+
+// STotal is the total buffer need of the result.
+func (r *Result) STotal() int { return r.Analysis.Buffers.Total }
+
+// Schedulable reports the analysis verdict.
+func (r *Result) Schedulable() bool { return r.Analysis.Schedulable }
+
+// evaluate analyzes a configuration.
+func evaluate(app *model.Application, arch *model.Architecture, cfg *core.Config) (*Result, error) {
+	a, err := core.Analyze(app, arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &Result{Config: cfg, Analysis: a}, nil
+}
+
+// Straightforward is the SF baseline of §6: nodes allocated to the TDMA
+// slots in ascending architecture order, slot lengths fixed at the
+// minimum that accommodates the largest message of each node, priorities
+// left at their declaration order, and the system scheduled by
+// MultiClusterScheduling. Priority optimization (HOPA) is part of
+// OptimizeSchedule, not of the baseline (§5.1).
+func Straightforward(app *model.Application, arch *model.Architecture) (*Result, error) {
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		return nil, err
+	}
+	return evaluate(app, arch, cfg)
+}
+
+// OSOptions tunes OptimizeSchedule.
+type OSOptions struct {
+	// HOPAIterations per candidate configuration (default 2).
+	HOPAIterations int
+	// SlotCandidates caps the recommended lengths tried per slot
+	// (default 3).
+	SlotCandidates int
+	// SeedLimit caps the seed_solutions list (default 6).
+	SeedLimit int
+}
+
+func (o *OSOptions) defaults() {
+	if o.HOPAIterations <= 0 {
+		o.HOPAIterations = 2
+	}
+	if o.SlotCandidates <= 0 {
+		o.SlotCandidates = 3
+	}
+	if o.SeedLimit <= 0 {
+		o.SeedLimit = 6
+	}
+}
+
+// OSResult is the outcome of OptimizeSchedule.
+type OSResult struct {
+	// Best is the configuration with the smallest delta_Gamma.
+	Best *Result
+	// Seeds are the recorded seed solutions for OptimizeResources,
+	// ordered best-delta first, deduplicated.
+	Seeds []*Result
+	// Evaluations counts the multi-cluster analyses performed.
+	Evaluations int
+}
+
+// OptimizeSchedule is the greedy heuristic of Fig. 8: slot by slot it
+// chooses the owner and the slot length that maximize the degree of
+// schedulability, with HOPA priorities per candidate, recording the best
+// configurations (by delta and by s_total) as seeds for the second step.
+func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSOptions) (*OSResult, error) {
+	opts.defaults()
+	base := core.DefaultConfig(app, arch)
+	res := &OSResult{}
+	var seeds []*Result
+
+	tryCandidate := func(cfg *core.Config) (*Result, error) {
+		pr, err := hopa.Assign(app, arch, cfg.Round, opts.HOPAIterations)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations += pr.Evaluations
+		full := cfg.Clone()
+		full.ProcPriority = pr.ProcPriority
+		full.MsgPriority = pr.MsgPriority
+		if err := full.Normalize(app); err != nil {
+			return nil, err
+		}
+		r, err := evaluate(app, arch, full)
+		if err != nil {
+			return nil, err
+		}
+		res.Evaluations++
+		seeds = append(seeds, r)
+		return r, nil
+	}
+
+	round := base.Round.Clone()
+	var best *Result
+	for i := range round.Slots {
+		bestAt := -1
+		var bestLen model.Time
+		var bestRes *Result
+		for j := i; j < len(round.Slots); j++ {
+			cand := round.Clone()
+			cand.Slots[i], cand.Slots[j] = cand.Slots[j], cand.Slots[i]
+			lengths := tsched.RecommendedSlotLengths(app, arch, cand.Slots[i].Node, opts.SlotCandidates)
+			for _, l := range lengths {
+				cand2 := cand.Clone()
+				cand2.Slots[i].Length = l
+				cfg := base.Clone()
+				cfg.Round = cand2
+				if err := cfg.Normalize(app); err != nil {
+					return nil, err
+				}
+				r, err := tryCandidate(cfg)
+				if err != nil {
+					return nil, err
+				}
+				if bestRes == nil || better(r, bestRes) {
+					bestRes = r
+					bestAt = j
+					bestLen = l
+				}
+			}
+		}
+		if bestAt >= 0 {
+			round.Slots[i], round.Slots[bestAt] = round.Slots[bestAt], round.Slots[i]
+			round.Slots[i].Length = bestLen
+		}
+		if bestRes != nil && (best == nil || better(bestRes, best)) {
+			best = bestRes
+		}
+	}
+	res.Best = best
+	res.Seeds = selectSeeds(seeds, opts.SeedLimit)
+	return res, nil
+}
+
+// better orders results by degree of schedulability, breaking ties with
+// the buffer need.
+func better(a, b *Result) bool {
+	if a.Delta() != b.Delta() {
+		return a.Delta() < b.Delta()
+	}
+	return a.STotal() < b.STotal()
+}
+
+// selectSeeds keeps the most promising seed solutions: the best by
+// delta (highly schedulable systems survive more hill-climbing moves)
+// and, among the schedulable ones, the best by s_total (§5.1).
+func selectSeeds(all []*Result, limit int) []*Result {
+	if len(all) == 0 {
+		return nil
+	}
+	byDelta := append([]*Result(nil), all...)
+	sort.SliceStable(byDelta, func(i, j int) bool { return better(byDelta[i], byDelta[j]) })
+	var bySTotal []*Result
+	for _, r := range all {
+		if r.Schedulable() {
+			bySTotal = append(bySTotal, r)
+		}
+	}
+	sort.SliceStable(bySTotal, func(i, j int) bool {
+		if bySTotal[i].STotal() != bySTotal[j].STotal() {
+			return bySTotal[i].STotal() < bySTotal[j].STotal()
+		}
+		return bySTotal[i].Delta() < bySTotal[j].Delta()
+	})
+	var seeds []*Result
+	seen := make(map[*core.Config]bool)
+	take := func(r *Result) {
+		if len(seeds) >= limit || seen[r.Config] {
+			return
+		}
+		seen[r.Config] = true
+		seeds = append(seeds, r)
+	}
+	half := (limit + 1) / 2
+	for i := 0; i < len(bySTotal) && i < half; i++ {
+		take(bySTotal[i])
+	}
+	for _, r := range byDelta {
+		take(r)
+	}
+	return seeds
+}
+
+// OROptions tunes OptimizeResources.
+type OROptions struct {
+	OS OSOptions
+	// MaxIterations caps the hill-climbing steps per seed (default 40).
+	MaxIterations int
+	// NeighborBudget caps the moves evaluated per step (default 24).
+	NeighborBudget int
+	// Seeds caps the number of seed solutions explored (default 4).
+	Seeds int
+	// RandSeed drives the sampled share of the neighbourhood.
+	RandSeed int64
+}
+
+func (o *OROptions) defaults() {
+	o.OS.defaults()
+	if o.MaxIterations <= 0 {
+		o.MaxIterations = 40
+	}
+	if o.NeighborBudget <= 0 {
+		o.NeighborBudget = 24
+	}
+	if o.Seeds <= 0 {
+		o.Seeds = 4
+	}
+	if o.RandSeed == 0 {
+		o.RandSeed = 1
+	}
+}
+
+// ORResult is the outcome of OptimizeResources.
+type ORResult struct {
+	// Best is the schedulable configuration with the smallest s_total
+	// (or the best-effort OS result when nothing schedulable exists).
+	Best *Result
+	// OS is the first-step result.
+	OS *OSResult
+	// Evaluations counts all analyses, including the OS step.
+	Evaluations int
+	// Improved tells whether hill climbing reduced s_total below the
+	// best OS seed.
+	Improved bool
+}
+
+// OptimizeResources is the two-step resource optimization of Fig. 7:
+// first OptimizeSchedule finds schedulable seed solutions, then a
+// hill-climbing loop performs the §5.1 moves, accepting only schedulable
+// neighbours that strictly reduce s_total.
+func OptimizeResources(app *model.Application, arch *model.Architecture, opts OROptions) (*ORResult, error) {
+	opts.defaults()
+	osres, err := OptimizeSchedule(app, arch, opts.OS)
+	if err != nil {
+		return nil, err
+	}
+	out := &ORResult{OS: osres, Best: osres.Best, Evaluations: osres.Evaluations}
+	if osres.Best == nil || !osres.Best.Schedulable() {
+		// The paper's step 1 failure path ("modify mapping and/or
+		// architecture") is outside our scope: report best effort.
+		return out, nil
+	}
+	rng := rand.New(rand.NewSource(opts.RandSeed))
+	best := osres.Best
+	for si, seed := range osres.Seeds {
+		if si >= opts.Seeds {
+			break
+		}
+		if !seed.Schedulable() {
+			continue
+		}
+		cur := seed
+		for it := 0; it < opts.MaxIterations; it++ {
+			moves := GenerateMoves(app, arch, cur.Config, cur.Analysis, MoveBudget{Max: opts.NeighborBudget, Rand: rng})
+			var chosen *Result
+			for _, mv := range moves {
+				cfg, err := mv.Apply(app, arch, cur.Config)
+				if err != nil {
+					continue // structurally impossible move
+				}
+				r, err := evaluate(app, arch, cfg)
+				if err != nil {
+					continue
+				}
+				out.Evaluations++
+				if !r.Schedulable() {
+					continue
+				}
+				if r.STotal() < cur.STotal() && (chosen == nil || r.STotal() < chosen.STotal()) {
+					chosen = r
+				}
+			}
+			if chosen == nil {
+				break
+			}
+			cur = chosen
+			if cur.STotal() < best.STotal() || (cur.STotal() == best.STotal() && cur.Delta() < best.Delta()) {
+				best = cur
+				out.Improved = true
+			}
+		}
+	}
+	out.Best = best
+	return out, nil
+}

@@ -1,0 +1,167 @@
+// Package sa implements the simulated-annealing reference optimizers of
+// §6: SA Schedule (SAS), tuned to minimize the degree of schedulability
+// delta_Gamma, and SA Resources (SAR), tuned to minimize the total
+// buffer need s_total. Both walk the same §5.1 move space as
+// OptimizeResources; with long schedules their best-ever solutions serve
+// as the near-optimal yardsticks of the paper's evaluation.
+package sa
+
+import (
+	"math"
+	"math/rand"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/opt"
+)
+
+// Objective selects the cost function.
+type Objective int
+
+const (
+	// MinimizeDelta is SAS: cost = delta_Gamma.
+	MinimizeDelta Objective = iota
+	// MinimizeBuffers is SAR: cost = s_total for schedulable systems,
+	// with a large schedulability penalty otherwise.
+	MinimizeBuffers
+)
+
+// Options tunes the annealer.
+type Options struct {
+	Objective Objective
+	// Iterations is the total number of evaluated moves (default 300).
+	Iterations int
+	// InitialTemp and Cooling control the acceptance schedule
+	// (defaults 1000 and 0.95; one cooling step every Epoch moves).
+	InitialTemp float64
+	Cooling     float64
+	Epoch       int
+	// Seed drives all randomness (default 1).
+	Seed int64
+	// MoveBudget is how many candidate moves are generated per step;
+	// one is drawn at random (default 16).
+	MoveBudget int
+}
+
+func (o *Options) defaults() {
+	if o.Iterations <= 0 {
+		o.Iterations = 300
+	}
+	if o.InitialTemp <= 0 {
+		o.InitialTemp = 1000
+	}
+	if o.Cooling <= 0 || o.Cooling >= 1 {
+		o.Cooling = 0.95
+	}
+	if o.Epoch <= 0 {
+		o.Epoch = 10
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.MoveBudget <= 0 {
+		o.MoveBudget = 16
+	}
+}
+
+// Result is the annealing outcome.
+type Result struct {
+	// Best is the best-ever configuration under the chosen objective.
+	Best *opt.Result
+	// Evaluations counts the analyses performed.
+	Evaluations int
+	// Accepted counts accepted moves (diagnostics).
+	Accepted int
+}
+
+// unschedulablePenalty dominates every realistic s_total so that SAR
+// never trades schedulability for buffers.
+const unschedulablePenalty = 1 << 40
+
+// cost maps an analysis to the annealing cost.
+func cost(obj Objective, r *opt.Result) float64 {
+	switch obj {
+	case MinimizeDelta:
+		return float64(r.Delta())
+	default:
+		if !r.Schedulable() {
+			return unschedulablePenalty + float64(r.Delta())
+		}
+		return float64(r.STotal())
+	}
+}
+
+// Run anneals from the given initial configuration. The initial
+// configuration must be normalized and valid.
+func Run(app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
+	opts.defaults()
+	rng := rand.New(rand.NewSource(opts.Seed))
+	curA, err := core.Analyze(app, arch, initial)
+	if err != nil {
+		return nil, err
+	}
+	cur := &opt.Result{Config: initial, Analysis: curA}
+	best := cur
+	res := &Result{Best: best, Evaluations: 1}
+	temp := opts.InitialTemp
+	for it := 0; it < opts.Iterations; it++ {
+		moves := opt.GenerateMoves(app, arch, cur.Config, cur.Analysis, opt.MoveBudget{Max: opts.MoveBudget, Rand: rng})
+		if len(moves) == 0 {
+			break
+		}
+		mv := moves[rng.Intn(len(moves))]
+		cfg, err := mv.Apply(app, arch, cur.Config)
+		if err != nil {
+			continue // impossible move: try another
+		}
+		a, err := core.Analyze(app, arch, cfg)
+		if err != nil {
+			continue
+		}
+		res.Evaluations++
+		cand := &opt.Result{Config: cfg, Analysis: a}
+		dc := cost(opts.Objective, cand) - cost(opts.Objective, cur)
+		if dc <= 0 || rng.Float64() < math.Exp(-dc/temp) {
+			cur = cand
+			res.Accepted++
+		}
+		if cost(opts.Objective, cand) < cost(opts.Objective, best) {
+			best = cand
+		}
+		if (it+1)%opts.Epoch == 0 {
+			temp *= opts.Cooling
+			if temp < 1e-6 {
+				temp = 1e-6
+			}
+		}
+	}
+	res.Best = best
+	return res, nil
+}
+
+// RunSAS anneals for the degree of schedulability from the SF starting
+// point (the paper's SA Schedule baseline).
+func RunSAS(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+	opts.Objective = MinimizeDelta
+	return runFromSF(app, arch, opts)
+}
+
+// RunSAR anneals for the total buffer need (the paper's SA Resources
+// baseline).
+func RunSAR(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+	opts.Objective = MinimizeBuffers
+	return runFromSF(app, arch, opts)
+}
+
+func runFromSF(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+	sf, err := opt.Straightforward(app, arch)
+	if err != nil {
+		return nil, err
+	}
+	res, err := Run(app, arch, sf.Config, opts)
+	if err != nil {
+		return nil, err
+	}
+	res.Evaluations += sf.Analysis.Iterations
+	return res, nil
+}

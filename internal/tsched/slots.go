@@ -1,0 +1,70 @@
+package tsched
+
+import (
+	"sort"
+
+	"repro/internal/model"
+)
+
+// slotTraffic returns the sizes (bytes) of the messages a slot owner
+// must carry: for a TT node, its outgoing TTP legs (TT->TT and TT->ET);
+// for the gateway, the ET->TT messages drained through S_G.
+func slotTraffic(app *model.Application, arch *model.Architecture, owner model.NodeID) []int {
+	var sizes []int
+	for _, e := range app.Edges {
+		route := app.RouteOf(e.ID, arch)
+		switch {
+		case arch.Kind(owner) == model.GatewayNode:
+			if route == model.RouteETtoTT {
+				sizes = append(sizes, e.Size)
+			}
+		case route.UsesTTP() && app.Procs[e.Src].Node == owner:
+			sizes = append(sizes, e.Size)
+		}
+	}
+	return sizes
+}
+
+// MinSlotLength returns the minimal allowed slot length for a slot
+// owner: the transmission time of the largest message it must carry
+// (the paper's size_smallest initialisation in OptimizeSchedule), or one
+// byte's worth of time when the node sends nothing.
+func MinSlotLength(app *model.Application, arch *model.Architecture, owner model.NodeID) model.Time {
+	largest := 1
+	for _, s := range slotTraffic(app, arch, owner) {
+		if s > largest {
+			largest = s
+		}
+	}
+	return model.Time(largest) * arch.TTP.TickPerByte
+}
+
+// RecommendedSlotLengths returns the candidate slot lengths tried by
+// OptimizeSchedule for a slot owner (the "recommended lengths" feedback
+// of the paper, after [5]): the transmission times of the cumulative
+// sums of the owner's message sizes, largest first, deduplicated and
+// capped at maxCandidates. The smallest candidate always equals
+// MinSlotLength.
+func RecommendedSlotLengths(app *model.Application, arch *model.Architecture, owner model.NodeID, maxCandidates int) []model.Time {
+	if maxCandidates <= 0 {
+		maxCandidates = 4
+	}
+	sizes := slotTraffic(app, arch, owner)
+	if len(sizes) == 0 {
+		return []model.Time{MinSlotLength(app, arch, owner)}
+	}
+	sort.Sort(sort.Reverse(sort.IntSlice(sizes)))
+	var lengths []model.Time
+	sum := 0
+	for _, s := range sizes {
+		sum += s
+		l := model.Time(sum) * arch.TTP.TickPerByte
+		if n := len(lengths); n == 0 || lengths[n-1] != l {
+			lengths = append(lengths, l)
+		}
+		if len(lengths) >= maxCandidates {
+			break
+		}
+	}
+	return lengths
+}

@@ -1,0 +1,315 @@
+// Package tsched builds the static cyclic schedule of the time-triggered
+// cluster: start times (offsets) for the TT processes, the slot
+// occurrences of the TTP messages, and the resulting MEDL. It implements
+// the StaticScheduling step of the MultiClusterScheduling algorithm
+// (Fig. 5 of the paper) with the list-scheduling approach of Eles et al.
+// referenced as [5].
+//
+// The scheduler rolls each process graph out over the application
+// hyper-period (one job per graph instance), orders ready jobs by
+// earliest feasible start with partial-critical-path priority as the tie
+// break, packs TTP messages into the next slot occurrence of the sender
+// with free capacity, and honours two kinds of external constraints:
+//
+//   - ReleaseOffset: worst-case arrival offsets of messages coming from
+//     the ETC (computed by the response-time analysis); a TT process must
+//     not start before all its inputs are present (§4 of the paper).
+//   - Pinned offsets: "not before" constraints used by the
+//     OptimizeResources hill climber to move TT activities inside their
+//     [ASAP, ALAP] intervals.
+package tsched
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/model"
+	"repro/internal/ttp"
+)
+
+// Input bundles everything the static scheduler needs.
+type Input struct {
+	App  *model.Application
+	Arch *model.Architecture
+	// Round is the TDMA configuration; its period must divide the
+	// application hyper-period (use Round.PadToDivide).
+	Round ttp.Round
+	// ReleaseOffset holds in-period earliest-start constraints for TT
+	// processes, typically the worst-case arrival offsets of their
+	// ET->TT input messages. Missing entries mean "no constraint".
+	ReleaseOffset map[model.ProcID]model.Time
+	// PinnedProc delays the start of a TT process to at least the given
+	// in-period offset (OptimizeResources moves).
+	PinnedProc map[model.ProcID]model.Time
+	// PinnedEdge delays the bus transmission of a TTP message to at
+	// least the given in-period offset.
+	PinnedEdge map[model.EdgeID]model.Time
+}
+
+// Schedule is the static schedule of the TTC over one hyper-period.
+type Schedule struct {
+	Round ttp.Round
+	// Hyper is the schedule table length (the application hyper-period).
+	Hyper model.Time
+	// ProcStart maps each TT process to its absolute start times, one
+	// per graph instance within the hyper-period.
+	ProcStart map[model.ProcID][]model.Time
+	// EdgeArrival maps each TTP-leg edge to the absolute bus delivery
+	// times (slot occurrence end), one per instance. For TT->ET edges
+	// this is the arrival at the gateway MBI.
+	EdgeArrival map[model.EdgeID][]model.Time
+	// MEDL is the frame schedule. Entries beyond the cycle can appear
+	// when the configuration is overloaded; WithinCycle reports it.
+	MEDL ttp.MEDL
+	// WithinCycle is true when every job and frame fits inside its
+	// period window, i.e. the table really is cyclic. Overloaded
+	// configurations still get a schedule (for cost evaluation) but are
+	// not executable.
+	WithinCycle bool
+}
+
+// Build runs the list scheduler and returns the schedule. It fails only
+// on structural errors (invalid round, message larger than its slot);
+// overload shows up as WithinCycle == false plus late start times, so
+// that the optimization heuristics see a smooth cost landscape.
+func Build(in Input) (*Schedule, error) {
+	app, arch := in.App, in.Arch
+	hyper, err := app.Hyperperiod()
+	if err != nil {
+		return nil, err
+	}
+	if err := in.Round.Validate(arch.SlotOwners()); err != nil {
+		return nil, err
+	}
+	if p := in.Round.Period(); p <= 0 || hyper%p != 0 {
+		return nil, fmt.Errorf("tsched: round period %d does not divide the hyper-period %d", in.Round.Period(), hyper)
+	}
+	lp, err := app.LongestPathToSink()
+	if err != nil {
+		return nil, err
+	}
+
+	s := &Schedule{
+		Round:       in.Round,
+		Hyper:       hyper,
+		ProcStart:   make(map[model.ProcID][]model.Time),
+		EdgeArrival: make(map[model.EdgeID][]model.Time),
+		MEDL:        ttp.MEDL{Round: in.Round, Cycle: hyper},
+		WithinCycle: true,
+	}
+
+	jobs := collectJobs(app, arch, hyper)
+	if len(jobs) == 0 {
+		return s, nil
+	}
+	// Scheduling state.
+	cpuFree := make(map[model.NodeID]model.Time)
+	slotUsed := make(map[[2]int]int) // (round occurrence, slot index) -> bytes
+	finish := make(map[jobKey]model.Time)
+	arrival := make(map[edgeKey]model.Time)
+	pending := len(jobs)
+
+	for pending > 0 {
+		best := -1
+		var bestStart model.Time
+		for i := range jobs {
+			j := &jobs[i]
+			if j.done || !predsDone(app, arch, j, finish) {
+				continue
+			}
+			start := jobStart(in, app, arch, j, finish, arrival, cpuFree)
+			if best == -1 || start < bestStart ||
+				(start == bestStart && betterTie(app, lp, &jobs[best], j)) {
+				best = i
+				bestStart = start
+			}
+		}
+		if best == -1 {
+			// Cannot happen on validated DAGs; guard against corruption.
+			return nil, fmt.Errorf("tsched: no eligible job among %d pending", pending)
+		}
+		j := &jobs[best]
+		j.done = true
+		pending--
+		proc := &app.Procs[j.proc]
+		end := bestStart + proc.WCET
+		finish[jobKey{j.proc, j.instance}] = end
+		cpuFree[proc.Node] = end
+		s.ProcStart[j.proc] = append(s.ProcStart[j.proc], bestStart)
+		if end > j.release+app.PeriodOf(j.proc) {
+			s.WithinCycle = false
+		}
+		// Transmit the outgoing TTP-leg messages right away, the most
+		// critical destination first: messages become ready together
+		// when the producer finishes, and the partial critical path of
+		// the receiver decides who gets the earlier slot occurrence
+		// (the message priority function of [5]).
+		var out []model.EdgeID
+		for _, e := range app.OutEdges(j.proc) {
+			if app.RouteOf(e, arch).UsesTTP() {
+				out = append(out, e)
+			}
+		}
+		sort.SliceStable(out, func(a, b int) bool {
+			la := lp[app.Edges[out[a]].Dst]
+			lb := lp[app.Edges[out[b]].Dst]
+			if la != lb {
+				return la > lb
+			}
+			return out[a] < out[b]
+		})
+		for _, e := range out {
+			if err := s.scheduleMessage(in, e, j.instance, end, slotUsed, arrival); err != nil {
+				return nil, err
+			}
+		}
+	}
+	sortStarts(s)
+	return s, nil
+}
+
+type jobKey struct {
+	proc     model.ProcID
+	instance int
+}
+
+type edgeKey struct {
+	edge     model.EdgeID
+	instance int
+}
+
+type job struct {
+	proc     model.ProcID
+	instance int
+	release  model.Time // k * period
+	done     bool
+}
+
+// collectJobs rolls the TT processes out over the hyper-period.
+func collectJobs(app *model.Application, arch *model.Architecture, hyper model.Time) []job {
+	var jobs []job
+	for _, p := range app.Procs {
+		if arch.Kind(p.Node) != model.TimeTriggered {
+			continue
+		}
+		period := app.PeriodOf(p.ID)
+		for k := 0; k < int(hyper/period); k++ {
+			jobs = append(jobs, job{proc: p.ID, instance: k, release: model.Time(k) * period})
+		}
+	}
+	return jobs
+}
+
+// predsDone reports whether every TT predecessor (and its message, if
+// any) of the job is already scheduled. ET predecessors do not gate the
+// schedule; their influence arrives through Input.ReleaseOffset.
+func predsDone(app *model.Application, arch *model.Architecture, j *job, finish map[jobKey]model.Time) bool {
+	for _, e := range app.InEdges(j.proc) {
+		src := app.Edges[e].Src
+		if arch.Kind(app.Procs[src].Node) != model.TimeTriggered {
+			continue
+		}
+		if _, ok := finish[jobKey{src, j.instance}]; !ok {
+			return false
+		}
+	}
+	return true
+}
+
+// jobStart computes the earliest feasible start of the job given the
+// current state.
+func jobStart(in Input, app *model.Application, arch *model.Architecture, j *job,
+	finish map[jobKey]model.Time, arrival map[edgeKey]model.Time, cpuFree map[model.NodeID]model.Time) model.Time {
+	start := j.release
+	if off, ok := in.ReleaseOffset[j.proc]; ok {
+		start = max64(start, j.release+off)
+	}
+	if pin, ok := in.PinnedProc[j.proc]; ok {
+		start = max64(start, j.release+pin)
+	}
+	for _, e := range app.InEdges(j.proc) {
+		ed := &app.Edges[e]
+		src := ed.Src
+		if arch.Kind(app.Procs[src].Node) != model.TimeTriggered {
+			continue // ET->TT: covered by ReleaseOffset
+		}
+		switch app.RouteOf(e, arch) {
+		case model.RouteLocal:
+			start = max64(start, finish[jobKey{src, j.instance}])
+		case model.RouteTTP:
+			start = max64(start, arrival[edgeKey{e, j.instance}])
+		}
+	}
+	if free := cpuFree[app.Procs[j.proc].Node]; free > start {
+		start = free
+	}
+	return start
+}
+
+// betterTie returns true when candidate b should replace a at equal
+// start times: larger partial critical path first, then smaller process
+// ID, then smaller instance.
+func betterTie(app *model.Application, lp map[model.ProcID]model.Time, a, b *job) bool {
+	la, lb := lp[a.proc], lp[b.proc]
+	if la != lb {
+		return lb > la
+	}
+	if a.proc != b.proc {
+		return b.proc < a.proc
+	}
+	return b.instance < a.instance
+}
+
+// scheduleMessage packs instance k of edge e into the earliest slot
+// occurrence of the sender's slot that starts at or after the ready time
+// and has free capacity.
+func (s *Schedule) scheduleMessage(in Input, e model.EdgeID, k int, ready model.Time,
+	slotUsed map[[2]int]int, arrival map[edgeKey]model.Time) error {
+	app, arch := in.App, in.Arch
+	ed := &app.Edges[e]
+	sender := app.Procs[ed.Src].Node
+	slot := s.Round.SlotIndexOf(sender)
+	if slot < 0 {
+		return fmt.Errorf("tsched: node %d of message %q owns no TDMA slot", sender, ed.Name)
+	}
+	capacity := s.Round.Capacity(slot, arch.TTP.TickPerByte)
+	if ed.Size > capacity {
+		return fmt.Errorf("tsched: message %q (%d bytes) exceeds slot capacity %d of node %d", ed.Name, ed.Size, capacity, sender)
+	}
+	if pin, ok := in.PinnedEdge[e]; ok {
+		ready = max64(ready, model.Time(k)*app.EdgePeriod(e)+pin)
+	}
+	occ := s.Round.NextOccurrence(slot, ready)
+	for slotUsed[[2]int{occ, slot}]+ed.Size > capacity {
+		occ++
+	}
+	slotUsed[[2]int{occ, slot}] += ed.Size
+	start := s.Round.OccurrenceStart(slot, occ)
+	end := start + s.Round.Slots[slot].Length
+	arrival[edgeKey{e, k}] = end
+	s.EdgeArrival[e] = append(s.EdgeArrival[e], end)
+	s.MEDL.Entries = append(s.MEDL.Entries, ttp.MEDLEntry{
+		Edge: e, Instance: k, Slot: slot, Round: occ, Bytes: ed.Size,
+		Start: start, End: end,
+	})
+	if end > model.Time(k+1)*app.EdgePeriod(e) {
+		s.WithinCycle = false
+	}
+	return nil
+}
+
+func sortStarts(s *Schedule) {
+	for p := range s.ProcStart {
+		sort.Slice(s.ProcStart[p], func(i, j int) bool { return s.ProcStart[p][i] < s.ProcStart[p][j] })
+	}
+	for e := range s.EdgeArrival {
+		sort.Slice(s.EdgeArrival[e], func(i, j int) bool { return s.EdgeArrival[e][i] < s.EdgeArrival[e][j] })
+	}
+}
+
+func max64(a, b model.Time) model.Time {
+	if a > b {
+		return a
+	}
+	return b
+}

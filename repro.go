@@ -1,0 +1,261 @@
+// Package repro is a complete, from-scratch reproduction of
+//
+//	Paul Pop, Petru Eles, Zebo Peng:
+//	"Schedulability Analysis and Optimization for the Synthesis of
+//	 Multi-Cluster Distributed Embedded Systems", DATE 2003.
+//
+// It provides schedulability analysis and configuration synthesis for
+// two-cluster embedded platforms: a time-triggered cluster (static cyclic
+// schedules over a TTP/TDMA bus) and an event-triggered cluster
+// (fixed-priority preemptive scheduling over a CAN bus), interconnected
+// by a gateway whose queues are sized by the analysis.
+//
+// This root package is the public facade. The typical flow:
+//
+//	sys, _ := repro.Generate(repro.GenSpec{Seed: 1, TTNodes: 2, ETNodes: 2})
+//	res, _ := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{
+//	    Strategy: repro.StrategyOptimizeResources,
+//	})
+//	fmt.Println(res.Analysis.Schedulable, res.Analysis.Buffers.Total)
+//
+// The heavy lifting lives in the internal packages (model, ttp, can,
+// rta, gateway, tsched, core, hopa, opt, sa, gen, sim, cruise, expt);
+// see DESIGN.md for the architecture and EXPERIMENTS.md for the
+// paper-versus-measured record.
+package repro
+
+import (
+	"fmt"
+	"io"
+
+	"repro/internal/core"
+	"repro/internal/cruise"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/sa"
+	"repro/internal/sim"
+)
+
+// Re-exported model types: see package model for the full documentation.
+type (
+	// Time is a duration or instant in integer ticks.
+	Time = model.Time
+	// Application is a set of process graphs.
+	Application = model.Application
+	// Architecture is the two-cluster platform.
+	Architecture = model.Architecture
+	// ArchSpec parameterizes NewTwoClusterArchitecture.
+	ArchSpec = model.ArchSpec
+	// System bundles an application with its architecture.
+	System = model.System
+	// ProcID identifies a process, EdgeID a dependency/message, NodeID a
+	// platform node.
+	ProcID = model.ProcID
+	EdgeID = model.EdgeID
+	NodeID = model.NodeID
+	// Config is the synthesized system configuration psi = <phi, beta, pi>.
+	Config = core.Config
+	// Analysis is the outcome of the multi-cluster schedulability
+	// analysis: response times, degree of schedulability, buffer bounds.
+	Analysis = core.Analysis
+	// GenSpec parameterizes the random application generator.
+	GenSpec = gen.Spec
+	// SimOptions and SimResult drive the discrete-event simulator;
+	// SimExecMode selects its execution-time model.
+	SimOptions  = sim.Options
+	SimResult   = sim.Result
+	SimExecMode = sim.ExecMode
+)
+
+// Execution-time modes for Simulate.
+const (
+	// ExecWorstCase runs every process for exactly its WCET.
+	ExecWorstCase = sim.WorstCase
+	// ExecBestCase runs every process for its BCET.
+	ExecBestCase = sim.BestCase
+	// ExecRandom draws execution times uniformly from [BCET, WCET].
+	ExecRandom = sim.RandomCase
+)
+
+// NewApplication returns an empty application with the given name.
+func NewApplication(name string) *Application { return model.NewApplication(name) }
+
+// NewTwoClusterArchitecture builds the canonical TTC+ETC+gateway
+// platform.
+func NewTwoClusterArchitecture(spec ArchSpec) (*Architecture, error) {
+	return model.NewTwoClusterArchitecture(spec)
+}
+
+// Generate builds a random two-cluster system with the paper's §6
+// workload parameters.
+func Generate(spec GenSpec) (*System, error) { return gen.Generate(spec) }
+
+// CruiseController builds the §6 vehicle cruise-controller case study
+// (40 processes, 2 TT + 2 ET nodes, 250 ms deadline).
+func CruiseController() (*System, error) { return cruise.System() }
+
+// LoadSystem reads a system JSON file written by SaveSystem or mcs-gen.
+func LoadSystem(path string) (*System, error) { return model.LoadFile(path) }
+
+// SaveSystem writes the system as JSON.
+func SaveSystem(sys *System, path string) error { return sys.SaveFile(path) }
+
+// DefaultConfig returns the straightforward configuration (ascending
+// slot order, minimal slot lengths, declaration-order priorities).
+func DefaultConfig(app *Application, arch *Architecture) *Config {
+	return core.DefaultConfig(app, arch)
+}
+
+// SaveConfig writes a synthesized configuration as stable JSON.
+func SaveConfig(cfg *Config, w io.Writer) error { return cfg.Save(w) }
+
+// LoadConfig parses a configuration written by SaveConfig and validates
+// it against the application and architecture.
+func LoadConfig(r io.Reader, app *Application, arch *Architecture) (*Config, error) {
+	return core.LoadConfig(r, app, arch)
+}
+
+// Analyze runs the MultiClusterScheduling fixed point (Fig. 5 of the
+// paper) for one configuration: static TTC schedule, ETC response
+// times, gateway queuing delays and buffer bounds.
+func Analyze(app *Application, arch *Architecture, cfg *Config) (*Analysis, error) {
+	return core.Analyze(app, arch, cfg)
+}
+
+// Simulate executes the configured system in the discrete-event
+// simulator and reports observed response times, queue peaks and any
+// platform-invariant violations.
+func Simulate(app *Application, arch *Architecture, cfg *Config, a *Analysis, opts SimOptions) (*SimResult, error) {
+	return sim.Run(app, arch, cfg, a, opts)
+}
+
+// Strategy selects a synthesis algorithm.
+type Strategy int
+
+const (
+	// StrategyStraightforward is the SF baseline: ascending slot order,
+	// minimal slot lengths, declaration-order priorities.
+	StrategyStraightforward Strategy = iota
+	// StrategyOptimizeSchedule is the greedy OS heuristic maximizing the
+	// degree of schedulability (Fig. 8).
+	StrategyOptimizeSchedule
+	// StrategyOptimizeResources is OS followed by the OR hill climber
+	// minimizing the total buffer need (Fig. 7).
+	StrategyOptimizeResources
+	// StrategySAS is the simulated-annealing baseline for the degree of
+	// schedulability.
+	StrategySAS
+	// StrategySAR is the simulated-annealing baseline for the buffer
+	// need.
+	StrategySAR
+)
+
+// String names the strategy like the paper.
+func (s Strategy) String() string {
+	switch s {
+	case StrategyStraightforward:
+		return "SF"
+	case StrategyOptimizeSchedule:
+		return "OS"
+	case StrategyOptimizeResources:
+		return "OR"
+	case StrategySAS:
+		return "SAS"
+	case StrategySAR:
+		return "SAR"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps the paper's algorithm names (sf, os, or, sas, sar;
+// case-insensitive ASCII) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch lower(name) {
+	case "sf", "straightforward":
+		return StrategyStraightforward, nil
+	case "os", "optimize-schedule":
+		return StrategyOptimizeSchedule, nil
+	case "or", "optimize-resources":
+		return StrategyOptimizeResources, nil
+	case "sas":
+		return StrategySAS, nil
+	case "sar":
+		return StrategySAR, nil
+	}
+	return 0, fmt.Errorf("repro: unknown strategy %q (want sf, os, or, sas or sar)", name)
+}
+
+func lower(s string) string {
+	b := []byte(s)
+	for i := range b {
+		if b[i] >= 'A' && b[i] <= 'Z' {
+			b[i] += 'a' - 'A'
+		}
+	}
+	return string(b)
+}
+
+// SynthesisOptions tunes Synthesize.
+type SynthesisOptions struct {
+	Strategy Strategy
+	// SAIterations bounds the annealing strategies (default 300).
+	SAIterations int
+	// Seed drives the randomized parts (default 1).
+	Seed int64
+	// OR tunes OptimizeResources (used by StrategyOptimizeResources).
+	OR opt.OROptions
+}
+
+// SynthesisResult couples the chosen configuration with its analysis.
+type SynthesisResult struct {
+	Config   *Config
+	Analysis *Analysis
+	// Evaluations counts the schedulability analyses performed.
+	Evaluations int
+}
+
+// Synthesize finds a system configuration with the selected strategy.
+func Synthesize(app *Application, arch *Architecture, opts SynthesisOptions) (*SynthesisResult, error) {
+	switch opts.Strategy {
+	case StrategyStraightforward:
+		r, err := opt.Straightforward(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		return &SynthesisResult{Config: r.Config, Analysis: r.Analysis, Evaluations: 1}, nil
+	case StrategyOptimizeSchedule:
+		r, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		if err != nil {
+			return nil, err
+		}
+		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
+	case StrategyOptimizeResources:
+		r, err := opt.OptimizeResources(app, arch, opts.OR)
+		if err != nil {
+			return nil, err
+		}
+		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
+	case StrategySAS, StrategySAR:
+		obj := sa.MinimizeDelta
+		if opts.Strategy == StrategySAR {
+			obj = sa.MinimizeBuffers
+		}
+		seed := opts.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		sf, err := opt.Straightforward(app, arch)
+		if err != nil {
+			return nil, err
+		}
+		r, err := sa.Run(app, arch, sf.Config, sa.Options{
+			Objective: obj, Iterations: opts.SAIterations, Seed: seed,
+		})
+		if err != nil {
+			return nil, err
+		}
+		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
+	}
+	return nil, fmt.Errorf("repro: unknown strategy %v", opts.Strategy)
+}

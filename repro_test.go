@@ -1,0 +1,127 @@
+package repro
+
+import (
+	"path/filepath"
+	"testing"
+)
+
+func TestFacadeEndToEnd(t *testing.T) {
+	sys, err := Generate(GenSpec{Seed: 4, TTNodes: 1, ETNodes: 1, ProcsPerNode: 8, ProcsPerGraph: 8})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	res, err := Synthesize(sys.Application, sys.Architecture, SynthesisOptions{
+		Strategy: StrategyOptimizeSchedule,
+	})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if res.Analysis == nil || res.Config == nil || res.Evaluations <= 0 {
+		t.Fatal("incomplete synthesis result")
+	}
+	if !res.Analysis.Schedulable {
+		t.Skipf("seed 4 not schedulable by OS (delta=%d)", res.Analysis.Delta)
+	}
+	simRes, err := Simulate(sys.Application, sys.Architecture, res.Config, res.Analysis, SimOptions{Cycles: 2})
+	if err != nil {
+		t.Fatalf("Simulate: %v", err)
+	}
+	if len(simRes.Violations) != 0 {
+		t.Fatalf("violations: %v", simRes.Violations)
+	}
+	if simRes.DeadlineMisses != 0 {
+		t.Errorf("deadline misses: %d", simRes.DeadlineMisses)
+	}
+}
+
+func TestFacadeStrategies(t *testing.T) {
+	sys, err := Generate(GenSpec{Seed: 2, TTNodes: 1, ETNodes: 1, ProcsPerNode: 6, ProcsPerGraph: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	for _, s := range []Strategy{StrategyStraightforward, StrategyOptimizeSchedule, StrategySAS, StrategySAR} {
+		res, err := Synthesize(sys.Application, sys.Architecture, SynthesisOptions{Strategy: s, SAIterations: 30})
+		if err != nil {
+			t.Fatalf("Synthesize(%v): %v", s, err)
+		}
+		if res.Analysis == nil {
+			t.Errorf("%v: no analysis", s)
+		}
+	}
+	if _, err := Synthesize(sys.Application, sys.Architecture, SynthesisOptions{Strategy: Strategy(99)}); err == nil {
+		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestParseStrategy(t *testing.T) {
+	cases := map[string]Strategy{
+		"sf": StrategyStraightforward, "SF": StrategyStraightforward,
+		"os": StrategyOptimizeSchedule, "or": StrategyOptimizeResources,
+		"SAS": StrategySAS, "sar": StrategySAR,
+		"optimize-resources": StrategyOptimizeResources,
+	}
+	for in, want := range cases {
+		got, err := ParseStrategy(in)
+		if err != nil || got != want {
+			t.Errorf("ParseStrategy(%q) = %v, %v", in, got, err)
+		}
+	}
+	if _, err := ParseStrategy("nope"); err == nil {
+		t.Error("invalid strategy accepted")
+	}
+	for _, s := range []Strategy{StrategyStraightforward, StrategyOptimizeSchedule, StrategyOptimizeResources, StrategySAS, StrategySAR, Strategy(42)} {
+		if s.String() == "" {
+			t.Errorf("empty name for %d", int(s))
+		}
+	}
+}
+
+func TestFacadeCruiseAndIO(t *testing.T) {
+	sys, err := CruiseController()
+	if err != nil {
+		t.Fatalf("CruiseController: %v", err)
+	}
+	if len(sys.Application.Procs) != 40 {
+		t.Errorf("cruise has %d processes", len(sys.Application.Procs))
+	}
+	path := filepath.Join(t.TempDir(), "cruise.json")
+	if err := SaveSystem(sys, path); err != nil {
+		t.Fatalf("SaveSystem: %v", err)
+	}
+	loaded, err := LoadSystem(path)
+	if err != nil {
+		t.Fatalf("LoadSystem: %v", err)
+	}
+	if loaded.Application.Name != sys.Application.Name {
+		t.Error("round trip lost the name")
+	}
+	cfg := DefaultConfig(loaded.Application, loaded.Architecture)
+	if err := cfg.Normalize(loaded.Application); err != nil {
+		t.Fatalf("Normalize: %v", err)
+	}
+	if _, err := Analyze(loaded.Application, loaded.Architecture, cfg); err != nil {
+		t.Fatalf("Analyze: %v", err)
+	}
+}
+
+func TestFacadeBuilderFlow(t *testing.T) {
+	arch, err := NewTwoClusterArchitecture(ArchSpec{TTNodes: 1, ETNodes: 1})
+	if err != nil {
+		t.Fatalf("NewTwoClusterArchitecture: %v", err)
+	}
+	app := NewApplication("mini")
+	g := app.AddGraph("G", 1000, 900)
+	a := app.AddProcess(g, "A", 10, arch.TTNodes()[0])
+	b := app.AddProcess(g, "B", 10, arch.ETNodes()[0])
+	app.AddEdge("ab", a, b, 8)
+	if err := app.Finalize(arch); err != nil {
+		t.Fatalf("Finalize: %v", err)
+	}
+	res, err := Synthesize(app, arch, SynthesisOptions{Strategy: StrategyOptimizeSchedule})
+	if err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if !res.Analysis.Schedulable {
+		t.Errorf("trivial system unschedulable: delta=%d", res.Analysis.Delta)
+	}
+}
