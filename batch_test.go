@@ -1,0 +1,51 @@
+package repro_test
+
+import (
+	"context"
+	"reflect"
+	"testing"
+
+	"repro"
+)
+
+// TestAnalyzeAllMatchesAnalyze checks the facade's batch entry point:
+// evaluations come back in input order and equal one-at-a-time Analyze
+// calls, for serial and parallel pools alike.
+func TestAnalyzeAllMatchesAnalyze(t *testing.T) {
+	sys, err := repro.Generate(repro.GenSpec{Seed: 5, TTNodes: 1, ETNodes: 1, ProcsPerNode: 6})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app, arch := sys.Application, sys.Architecture
+	base := repro.DefaultConfig(app, arch)
+	var cfgs []*repro.Config
+	for i := 0; i < 6; i++ {
+		cfg := base.Clone()
+		cfg.Round.Slots[i%len(cfg.Round.Slots)].Length += int64(4 * i)
+		if err := cfg.Normalize(app); err != nil {
+			t.Fatal(err)
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	for _, workers := range []int{1, 4} {
+		evals, err := repro.AnalyzeAll(context.Background(), app, arch, cfgs, workers)
+		if err != nil {
+			t.Fatalf("workers=%d: %v", workers, err)
+		}
+		if len(evals) != len(cfgs) {
+			t.Fatalf("workers=%d: %d evaluations for %d configs", workers, len(evals), len(cfgs))
+		}
+		for i, cfg := range cfgs {
+			want, err := repro.Analyze(app, arch, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if evals[i].Err != nil {
+				t.Fatalf("workers=%d cfg %d: %v", workers, i, evals[i].Err)
+			}
+			if !reflect.DeepEqual(evals[i].Analysis, want) {
+				t.Errorf("workers=%d cfg %d: batch analysis differs from Analyze", workers, i)
+			}
+		}
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"strconv"
 	"strings"
 
@@ -27,11 +28,12 @@ func main() {
 		inter    = flag.String("inter", "", "comma-separated message counts for fig9c (default 10,20,30)")
 		seeds    = flag.Int("seeds", 0, "applications per point (default 3; the paper uses 30)")
 		saIters  = flag.Int("sa", 0, "simulated-annealing iterations per run (default 150)")
+		workers  = flag.Int("workers", runtime.NumCPU(), "parallel sweep workers (1 = serial; results are identical)")
 		progress = flag.Bool("progress", false, "print one line per completed step")
 	)
 	flag.Parse()
 
-	opts := expt.Options{Seeds: *seeds, SAIterations: *saIters}
+	opts := expt.Options{Seeds: *seeds, SAIterations: *saIters, Workers: *workers}
 	if *progress {
 		opts.Progress = os.Stderr
 	}

@@ -15,6 +15,7 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
 	"sort"
 
 	"repro"
@@ -22,14 +23,16 @@ import (
 
 func main() {
 	var (
-		in       = flag.String("in", "", "input system JSON (from mcs-gen)")
-		cruiseFl = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
-		strategy = flag.String("strategy", "or", "synthesis strategy: sf, os, or, sas, sar")
-		saIters  = flag.Int("sa-iterations", 300, "iteration budget for sas/sar")
-		seed     = flag.Int64("seed", 1, "seed for the randomized strategies")
-		verbose  = flag.Bool("v", false, "print per-process response times")
-		tables   = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
-		saveCfg  = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
+		in         = flag.String("in", "", "input system JSON (from mcs-gen)")
+		cruiseFl   = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
+		strategy   = flag.String("strategy", "or", "synthesis strategy: sf, os, or, sas, sar")
+		saIters    = flag.Int("sa-iterations", 300, "iteration budget for sas/sar")
+		saRestarts = flag.Int("sa-restarts", 1, "independent annealing chains for sas/sar (best-ever wins)")
+		seed       = flag.Int64("seed", 1, "seed for the randomized strategies")
+		workers    = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers (1 = serial; results are identical)")
+		verbose    = flag.Bool("v", false, "print per-process response times")
+		tables     = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
+		saveCfg    = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
 	)
 	flag.Parse()
 
@@ -43,6 +46,7 @@ func main() {
 	}
 	res, err := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{
 		Strategy: strat, SAIterations: *saIters, Seed: *seed,
+		Workers: *workers, SARestarts: *saRestarts,
 	})
 	if err != nil {
 		fatal(err)

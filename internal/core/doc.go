@@ -1,0 +1,21 @@
+// Package core implements the paper's primary contribution: the
+// MultiClusterScheduling algorithm (Fig. 5) that couples the static
+// cyclic schedule of the time-triggered cluster with the offset-based
+// response-time analysis of the event-triggered cluster, the degree of
+// schedulability delta_Gamma, and the total buffer need s_total (§4-§5).
+//
+// A system configuration psi = <phi, beta, pi> consists of
+//
+//   - phi: the offsets of TT processes and TTP messages (the schedule
+//     tables and the MEDL), produced by internal/tsched and adjustable
+//     through pinned offsets;
+//   - beta: the TDMA round (slot order and lengths), field Config.Round;
+//   - pi: the priorities of the ET processes and of the CAN messages.
+//
+// Analyze runs the fixed point between StaticScheduling and
+// ResponseTimeAnalysis and returns response times, the degree of
+// schedulability and the gateway buffer bounds. Analyze is pure with
+// respect to the shared application and architecture, which is what
+// lets internal/engine evaluate batches of candidate configurations
+// concurrently with results identical to a serial run.
+package core

@@ -1,0 +1,43 @@
+package engine_test
+
+import (
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/expt"
+)
+
+// TestFig9aSweepSpeedup asserts the acceptance criterion behind the
+// benchmarks in bench_test.go: on a machine with >= 4 cores, the expt
+// sweep with -workers=NumCPU must be at least 2x faster wall-clock
+// than with -workers=1. Timing tests are inherently noisy on shared
+// runners, so the check retries a few times and is skipped under
+// -short (CI runs it in a dedicated non-race step).
+func TestFig9aSweepSpeedup(t *testing.T) {
+	if testing.Short() {
+		t.Skip("timing test; skipped with -short")
+	}
+	if runtime.NumCPU() < 4 {
+		t.Skipf("needs >= 4 cores, have %d", runtime.NumCPU())
+	}
+	measure := func(workers int) time.Duration {
+		t0 := time.Now()
+		if _, err := expt.Fig9a(sweepOptions(workers)); err != nil {
+			t.Fatal(err)
+		}
+		return time.Since(t0)
+	}
+	measure(1) // warm up (first run pays one-off allocation costs)
+	var serial, parallel time.Duration
+	for attempt := 1; attempt <= 3; attempt++ {
+		serial = measure(1)
+		parallel = measure(runtime.NumCPU())
+		if 2*parallel <= serial {
+			t.Logf("attempt %d: serial %v, parallel %v (%.1fx)", attempt, serial, parallel, float64(serial)/float64(parallel))
+			return
+		}
+	}
+	t.Errorf("parallel sweep not >= 2x faster: serial %v, parallel %v (%.1fx)",
+		serial, parallel, float64(serial)/float64(parallel))
+}

@@ -31,78 +31,90 @@ type AblationRow struct {
 	FullDelta, NoHOPADelta, NoSlotDelta, NoOffsetsDelta float64
 }
 
-// Ablation runs the four variants over the generated workloads.
+// Ablation runs the four variants over the generated workloads, with
+// the (size, seed) cells fanned out across opts.Workers goroutines.
 func Ablation(opts Options) ([]AblationRow, error) {
 	opts.defaults()
-	var rows []AblationRow
-	for _, nodes := range opts.Sizes {
-		row := AblationRow{Nodes: nodes, Procs: 40 * nodes}
-		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
-			sys, err := gen.Paper(nodes, seed)
-			if err != nil {
-				return nil, err
-			}
-			app, arch := sys.Application, sys.Architecture
-			row.Count++
+	type cell struct {
+		full                     *opt.Result
+		aNoHopa, aNoSlot, aNoOff *core.Analysis
+	}
+	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+		sys, err := gen.Paper(opts.Sizes[pi], seed)
+		if err != nil {
+			return cell{}, err
+		}
+		app, arch := sys.Application, sys.Architecture
 
-			// Full OptimizeSchedule.
-			full, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
-			if err != nil {
-				return nil, err
-			}
-			if full.Best.Schedulable() {
+		// Full OptimizeSchedule.
+		full, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		if err != nil {
+			return cell{}, err
+		}
+
+		// Slot search without HOPA: evaluate the full search's round
+		// with declaration-order priorities.
+		noHopa := core.DefaultConfig(app, arch)
+		noHopa.Round = full.Best.Config.Round.Clone()
+		if err := noHopa.Normalize(app); err != nil {
+			return cell{}, err
+		}
+		aNoHopa, err := core.Analyze(app, arch, noHopa)
+		if err != nil {
+			return cell{}, err
+		}
+
+		// HOPA without the slot search: ascending minimal round.
+		base := core.DefaultConfig(app, arch)
+		if err := base.Normalize(app); err != nil {
+			return cell{}, err
+		}
+		pr, err := hopa.Assign(app, arch, base.Round, opts.OR.OS.HOPAIterations)
+		if err != nil {
+			return cell{}, err
+		}
+		base.ProcPriority = pr.ProcPriority
+		base.MsgPriority = pr.MsgPriority
+		aNoSlot, err := core.Analyze(app, arch, base)
+		if err != nil {
+			return cell{}, err
+		}
+
+		// Full heuristic, offset-blind analysis: zeroing the
+		// transaction IDs makes every activity pairwise unrelated,
+		// which drops all offset separation (O_ij = 0 everywhere).
+		aNoOff, err := analyzeOffsetBlind(app, arch, full.Best.Config)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{full: full.Best, aNoHopa: aNoHopa, aNoSlot: aNoSlot, aNoOff: aNoOff}, nil
+	}, func(pi int, seed int64, _ cell) {
+		opts.progressf("ablation nodes=%d seed=%d done", opts.Sizes[pi], seed)
+	})
+	if err != nil {
+		return nil, err
+	}
+	var rows []AblationRow
+	for pi, nodes := range opts.Sizes {
+		row := AblationRow{Nodes: nodes, Procs: 40 * nodes}
+		for _, c := range cells[pi] {
+			row.Count++
+			if c.full.Schedulable() {
 				row.Full++
 			}
-			row.FullDelta += float64(full.Best.Delta())
-
-			// Slot search without HOPA: evaluate the full search's round
-			// with declaration-order priorities.
-			noHopa := core.DefaultConfig(app, arch)
-			noHopa.Round = full.Best.Config.Round.Clone()
-			if err := noHopa.Normalize(app); err != nil {
-				return nil, err
-			}
-			aNoHopa, err := core.Analyze(app, arch, noHopa)
-			if err != nil {
-				return nil, err
-			}
-			if aNoHopa.Schedulable {
+			row.FullDelta += float64(c.full.Delta())
+			if c.aNoHopa.Schedulable {
 				row.NoHOPA++
 			}
-			row.NoHOPADelta += float64(aNoHopa.Delta)
-
-			// HOPA without the slot search: ascending minimal round.
-			base := core.DefaultConfig(app, arch)
-			if err := base.Normalize(app); err != nil {
-				return nil, err
-			}
-			pr, err := hopa.Assign(app, arch, base.Round, opts.OR.OS.HOPAIterations)
-			if err != nil {
-				return nil, err
-			}
-			base.ProcPriority = pr.ProcPriority
-			base.MsgPriority = pr.MsgPriority
-			aNoSlot, err := core.Analyze(app, arch, base)
-			if err != nil {
-				return nil, err
-			}
-			if aNoSlot.Schedulable {
+			row.NoHOPADelta += float64(c.aNoHopa.Delta)
+			if c.aNoSlot.Schedulable {
 				row.NoSlotSearch++
 			}
-			row.NoSlotDelta += float64(aNoSlot.Delta)
-
-			// Full heuristic, offset-blind analysis: zeroing the
-			// transaction IDs makes every activity pairwise unrelated,
-			// which drops all offset separation (O_ij = 0 everywhere).
-			aNoOff, err := analyzeOffsetBlind(app, arch, full.Best.Config)
-			if err != nil {
-				return nil, err
-			}
-			if aNoOff.Schedulable {
+			row.NoSlotDelta += float64(c.aNoSlot.Delta)
+			if c.aNoOff.Schedulable {
 				row.NoOffsets++
 			}
-			row.NoOffsetsDelta += float64(aNoOff.Delta)
-			opts.progressf("ablation nodes=%d seed=%d done", nodes, seed)
+			row.NoOffsetsDelta += float64(c.aNoOff.Delta)
 		}
 		if row.Count > 0 {
 			n := float64(row.Count)

@@ -21,8 +21,14 @@ type CruiseRow struct {
 }
 
 // Cruise runs SF, OS, OR, SAS and SAR on the cruise-controller model.
+// It is a single-system experiment, so opts.Workers parallelizes inside
+// the algorithms (optimizer neighbourhoods, annealing chains) rather
+// than across cells.
 func Cruise(opts Options) ([]CruiseRow, error) {
 	opts.defaults()
+	if opts.OR.Workers <= 0 {
+		opts.OR.Workers = opts.Workers
+	}
 	sys, err := cruise.System()
 	if err != nil {
 		return nil, err
@@ -46,12 +52,12 @@ func Cruise(opts Options) ([]CruiseRow, error) {
 	}
 	add("OS", orres.OS.Best)
 	add("OR", orres.Best)
-	sas, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeDelta, opts.SAIterations, 1)
+	sas, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeDelta, opts.SAIterations, 1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	add("SAS", sas)
-	sar, _, err := bestSA(app, arch, orres.Best, sa.MinimizeBuffers, opts.SAIterations, 1)
+	sar, _, err := bestSA(app, arch, orres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -6,16 +6,18 @@
 //
 // The default parameters are scaled down from the paper's (which used 30
 // applications per point and hours of simulated annealing); the cmd
-// mcs-experiments tool exposes flags to run at full scale. EXPERIMENTS.md
-// records the measured outcomes next to the published ones.
+// mcs-experiments tool exposes flags to run at full scale, including
+// -workers to fan the sweep cells out across the evaluation engine.
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/opt"
@@ -38,7 +40,16 @@ type Options struct {
 	SAIterations int
 	// OR tunes the OptimizeResources runs.
 	OR opt.OROptions
+	// Workers bounds the concurrently evaluated experiment cells — one
+	// cell is one (size or traffic point, seed) pair, generated and
+	// synthesized independently (default 1 = serial; mcs-experiments
+	// passes runtime.NumCPU() through -workers). Within a cell the
+	// optimizers run serially, so the pool is never oversubscribed, and
+	// rows and progress output are identical for every worker count.
+	Workers int
 	// Progress, when non-nil, receives one line per completed step.
+	// Lines are emitted during the deterministic reduction, in the same
+	// order as a serial run.
 	Progress io.Writer
 }
 
@@ -55,6 +66,106 @@ func (o *Options) defaults() {
 	if o.SAIterations <= 0 {
 		o.SAIterations = 150
 	}
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+}
+
+// gridSweep fans one job per (point, seed) cell of a sweep out across
+// the engine pool and returns the cells as [point][seed-1], failing
+// with the first error in cell order (what a serial sweep would have
+// hit first). Each cell must be self-contained: it generates its own
+// system and synthesizes it, sharing nothing with its neighbours.
+//
+// onCell, when non-nil, is the live progress hook: it runs once per
+// successful cell, in strict cell order, as soon as the cell and all
+// its predecessors have finished — so -progress lines appear while the
+// sweep is still running, yet read exactly like a serial run's.
+func gridSweep[T any](opts *Options, points int, fn func(point int, seed int64) (T, error), onCell func(point int, seed int64, v T)) ([][]T, error) {
+	n := points * opts.Seeds
+	type slot struct {
+		v   T
+		err error
+	}
+	slots := make([]slot, n)
+	done := make([]chan struct{}, n)
+	for i := range done {
+		done[i] = make(chan struct{})
+	}
+	// A failed cell cancels the sweep so unstarted cells are skipped
+	// instead of burning hours of compute after a doomed run.
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	jobs := make([]func(context.Context) (struct{}, error), 0, n)
+	for pi := 0; pi < points; pi++ {
+		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
+			pi, seed, i := pi, seed, len(jobs)
+			jobs = append(jobs, func(context.Context) (struct{}, error) {
+				v, err := fn(pi, seed)
+				slots[i] = slot{v: v, err: err}
+				if err != nil {
+					cancel()
+				}
+				close(done[i])
+				return struct{}{}, nil
+			})
+		}
+	}
+	// The streamer walks the cells in order, emitting each as it
+	// completes; an errored (or skipped) cell ends the stream where a
+	// serial sweep would have aborted. close(done[i]) happens-before
+	// <-done[i], so reading slots[i] here is race-free.
+	streamed := make(chan struct{})
+	go func() {
+		defer close(streamed)
+		for i := 0; i < n; i++ {
+			<-done[i]
+			if slots[i].err != nil {
+				return
+			}
+			if onCell != nil {
+				onCell(i/opts.Seeds, int64(i%opts.Seeds)+1, slots[i].v)
+			}
+		}
+	}()
+	res, _ := engine.Sweep(ctx, engine.New(opts.Workers), jobs)
+	// A cell the engine skipped after cancellation never ran its job,
+	// so its done channel is still open — record the skip and close it
+	// here, or the streamer (and this function) would wait forever.
+	// Jobs themselves never return an error, so res[i].Err is non-nil
+	// exactly for skipped cells.
+	for i := range res {
+		if res[i].Err != nil {
+			slots[i].err = res[i].Err
+			close(done[i])
+		}
+	}
+	<-streamed
+	// Fail with the first genuine cell error; skipped cells exist only
+	// because some cell failed, so one is always found. (When several
+	// cells fail in one sweep, which one is first can differ from a
+	// serial run if an earlier cell was skipped — every error path
+	// aborts the experiment either way.)
+	for i := range slots {
+		if slots[i].err != nil && res[i].Err == nil {
+			return nil, slots[i].err
+		}
+	}
+	for i := range slots {
+		if slots[i].err != nil {
+			return nil, slots[i].err
+		}
+	}
+	out := make([][]T, points)
+	k := 0
+	for pi := range out {
+		out[pi] = make([]T, opts.Seeds)
+		for s := range out[pi] {
+			out[pi][s] = slots[k].v
+			k++
+		}
+	}
+	return out, nil
 }
 
 func (o *Options) progressf(format string, args ...interface{}) {
@@ -78,9 +189,11 @@ func deviationPct(value, best float64) float64 {
 // bestSA runs the annealer twice - from the SF baseline and from the OS
 // best - and keeps the better outcome. This stands in for the paper's
 // "very long and expensive runs ... the best ever solution produced has
-// been considered a close to the optimum value".
-func bestSA(app *model.Application, arch *model.Architecture, osBest *opt.Result, obj sa.Objective, iters int, seed int64) (*opt.Result, int, error) {
-	evals := 0
+// been considered a close to the optimum value". The chains are
+// independent and run across an engine pool of workers goroutines
+// (pass 1 from inside an already-parallel sweep cell); the reduction
+// keeps chain order, so the outcome does not depend on the pool size.
+func bestSA(app *model.Application, arch *model.Architecture, osBest *opt.Result, obj sa.Objective, iters int, seed int64, workers int) (*opt.Result, int, error) {
 	sf, err := opt.Straightforward(app, arch)
 	if err != nil {
 		return nil, 0, err
@@ -89,17 +202,25 @@ func bestSA(app *model.Application, arch *model.Architecture, osBest *opt.Result
 	if osBest != nil {
 		runs = append(runs, osBest.Config)
 	}
-	var best *opt.Result
+	jobs := make([]func(context.Context) (*sa.Result, error), len(runs))
 	for i, init := range runs {
-		res, err := sa.Run(app, arch, init, sa.Options{
-			Objective: obj, Iterations: iters, Seed: seed + int64(i),
-		})
-		if err != nil {
-			return nil, 0, err
+		i, init := i, init
+		jobs[i] = func(context.Context) (*sa.Result, error) {
+			return sa.Run(app, arch, init, sa.Options{
+				Objective: obj, Iterations: iters, Seed: seed + int64(i),
+			})
 		}
-		evals += res.Evaluations
-		if best == nil || saBetter(obj, res.Best, best) {
-			best = res.Best
+	}
+	chains, _ := engine.Sweep(context.Background(), engine.New(workers), jobs)
+	evals := 0
+	var best *opt.Result
+	for _, c := range chains {
+		if c.Err != nil {
+			return nil, 0, c.Err
+		}
+		evals += c.Value.Evaluations
+		if best == nil || saBetter(obj, c.Value.Best, best) {
+			best = c.Value.Best
 		}
 	}
 	return best, evals, nil
@@ -134,46 +255,58 @@ type Fig9aRow struct {
 	SFDev, OSDev float64
 }
 
-// Fig9a runs the degree-of-schedulability experiment.
+// Fig9a runs the degree-of-schedulability experiment. Cells fan out
+// across opts.Workers goroutines; the row reduction is serial and in
+// cell order.
 func Fig9a(opts Options) ([]Fig9aRow, error) {
 	opts.defaults()
+	type cell struct {
+		sf, os, sas *opt.Result
+	}
+	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+		sys, err := gen.Paper(opts.Sizes[pi], seed)
+		if err != nil {
+			return cell{}, err
+		}
+		app, arch := sys.Application, sys.Architecture
+		sf, err := opt.Straightforward(app, arch)
+		if err != nil {
+			return cell{}, err
+		}
+		osres, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		if err != nil {
+			return cell{}, err
+		}
+		sas, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, seed, 1)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{sf: sf, os: osres.Best, sas: sas}, nil
+	}, func(pi int, seed int64, c cell) {
+		opts.progressf("fig9a nodes=%d seed=%d: SF=%d OS=%d SAS=%d", opts.Sizes[pi], seed, c.sf.Delta(), c.os.Delta(), c.sas.Delta())
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9aRow
-	for _, nodes := range opts.Sizes {
+	for pi, nodes := range opts.Sizes {
 		row := Fig9aRow{Nodes: nodes, Procs: 40 * nodes}
 		var sfSum, osSum float64
-		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
-			sys, err := gen.Paper(nodes, seed)
-			if err != nil {
-				return nil, err
-			}
-			app, arch := sys.Application, sys.Architecture
+		for _, c := range cells[pi] {
 			row.Count++
-			sf, err := opt.Straightforward(app, arch)
-			if err != nil {
-				return nil, err
-			}
-			osres, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
-			if err != nil {
-				return nil, err
-			}
-			sas, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, seed)
-			if err != nil {
-				return nil, err
-			}
-			if !sf.Schedulable() {
+			if !c.sf.Schedulable() {
 				row.SFFail++
 			}
-			if !osres.Best.Schedulable() {
+			if !c.os.Schedulable() {
 				row.OSFail++
 			}
-			if !sas.Schedulable() {
+			if !c.sas.Schedulable() {
 				row.SASFail++
 			}
-			opts.progressf("fig9a nodes=%d seed=%d: SF=%d OS=%d SAS=%d", nodes, seed, sf.Delta(), osres.Best.Delta(), sas.Delta())
-			if sf.Schedulable() && osres.Best.Schedulable() && sas.Schedulable() {
+			if c.sf.Schedulable() && c.os.Schedulable() && c.sas.Schedulable() {
 				row.Usable++
-				sfSum += deviationPct(float64(sf.Delta()), float64(sas.Delta()))
-				osSum += deviationPct(float64(osres.Best.Delta()), float64(sas.Delta()))
+				sfSum += deviationPct(float64(c.sf.Delta()), float64(c.sas.Delta()))
+				osSum += deviationPct(float64(c.os.Delta()), float64(c.sas.Delta()))
 			}
 		}
 		if row.Usable > 0 {
@@ -202,35 +335,45 @@ type Fig9bRow struct {
 	OSAvg, ORAvg, SARAvg float64
 }
 
-// Fig9b runs the buffer-need experiment over application sizes.
+// Fig9b runs the buffer-need experiment over application sizes, with
+// the (size, seed) cells fanned out across opts.Workers goroutines.
 func Fig9b(opts Options) ([]Fig9bRow, error) {
 	opts.defaults()
+	type cell struct {
+		os, or, sar *opt.Result
+	}
+	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+		sys, err := gen.Paper(opts.Sizes[pi], seed)
+		if err != nil {
+			return cell{}, err
+		}
+		app, arch := sys.Application, sys.Architecture
+		orres, err := opt.OptimizeResources(app, arch, opts.OR)
+		if err != nil {
+			return cell{}, err
+		}
+		sar, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{os: orres.OS.Best, or: orres.Best, sar: sar}, nil
+	}, func(pi int, seed int64, c cell) {
+		opts.progressf("fig9b nodes=%d seed=%d: OS=%d OR=%d SAR=%d", opts.Sizes[pi], seed, c.os.STotal(), c.or.STotal(), c.sar.STotal())
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9bRow
-	for _, nodes := range opts.Sizes {
+	for pi, nodes := range opts.Sizes {
 		row := Fig9bRow{Nodes: nodes, Procs: 40 * nodes}
 		var osSum, orSum, sarSum float64
-		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
-			sys, err := gen.Paper(nodes, seed)
-			if err != nil {
-				return nil, err
-			}
-			app, arch := sys.Application, sys.Architecture
+		for _, c := range cells[pi] {
 			row.Count++
-			orres, err := opt.OptimizeResources(app, arch, opts.OR)
-			if err != nil {
-				return nil, err
-			}
-			osBest := orres.OS.Best
-			sar, _, err := bestSA(app, arch, osBest, sa.MinimizeBuffers, opts.SAIterations, seed)
-			if err != nil {
-				return nil, err
-			}
-			opts.progressf("fig9b nodes=%d seed=%d: OS=%d OR=%d SAR=%d", nodes, seed, osBest.STotal(), orres.Best.STotal(), sar.STotal())
-			if osBest.Schedulable() && orres.Best.Schedulable() && sar.Schedulable() {
+			if c.os.Schedulable() && c.or.Schedulable() && c.sar.Schedulable() {
 				row.Usable++
-				osSum += float64(osBest.STotal())
-				orSum += float64(orres.Best.STotal())
-				sarSum += float64(sar.STotal())
+				osSum += float64(c.os.STotal())
+				orSum += float64(c.or.STotal())
+				sarSum += float64(c.sar.STotal())
 			}
 		}
 		if row.Usable > 0 {
@@ -260,34 +403,44 @@ type Fig9cRow struct {
 	OSDev, ORDev  float64
 }
 
-// Fig9c runs the inter-cluster traffic experiment.
+// Fig9c runs the inter-cluster traffic experiment, with the (traffic,
+// seed) cells fanned out across opts.Workers goroutines.
 func Fig9c(opts Options) ([]Fig9cRow, error) {
 	opts.defaults()
+	type cell struct {
+		os, or, sar *opt.Result
+	}
+	cells, err := gridSweep(&opts, len(opts.Inter), func(pi int, seed int64) (cell, error) {
+		sys, err := gen.Fig9c(opts.Inter[pi], seed)
+		if err != nil {
+			return cell{}, err
+		}
+		app, arch := sys.Application, sys.Architecture
+		orres, err := opt.OptimizeResources(app, arch, opts.OR)
+		if err != nil {
+			return cell{}, err
+		}
+		sar, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
+		if err != nil {
+			return cell{}, err
+		}
+		return cell{os: orres.OS.Best, or: orres.Best, sar: sar}, nil
+	}, func(pi int, seed int64, c cell) {
+		opts.progressf("fig9c inter=%d seed=%d: OS=%d OR=%d SAR=%d", opts.Inter[pi], seed, c.os.STotal(), c.or.STotal(), c.sar.STotal())
+	})
+	if err != nil {
+		return nil, err
+	}
 	var rows []Fig9cRow
-	for _, inter := range opts.Inter {
+	for pi, inter := range opts.Inter {
 		row := Fig9cRow{Inter: inter}
 		var osSum, orSum float64
-		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
-			sys, err := gen.Fig9c(inter, seed)
-			if err != nil {
-				return nil, err
-			}
-			app, arch := sys.Application, sys.Architecture
+		for _, c := range cells[pi] {
 			row.Count++
-			orres, err := opt.OptimizeResources(app, arch, opts.OR)
-			if err != nil {
-				return nil, err
-			}
-			osBest := orres.OS.Best
-			sar, _, err := bestSA(app, arch, osBest, sa.MinimizeBuffers, opts.SAIterations, seed)
-			if err != nil {
-				return nil, err
-			}
-			opts.progressf("fig9c inter=%d seed=%d: OS=%d OR=%d SAR=%d", inter, seed, osBest.STotal(), orres.Best.STotal(), sar.STotal())
-			if osBest.Schedulable() && orres.Best.Schedulable() && sar.Schedulable() {
+			if c.os.Schedulable() && c.or.Schedulable() && c.sar.Schedulable() {
 				row.Usable++
-				osSum += deviationPct(float64(osBest.STotal()), float64(sar.STotal()))
-				orSum += deviationPct(float64(orres.Best.STotal()), float64(sar.STotal()))
+				osSum += deviationPct(float64(c.os.STotal()), float64(c.sar.STotal()))
+				orSum += deviationPct(float64(c.or.STotal()), float64(c.sar.STotal()))
 			}
 		}
 		if row.Usable > 0 {
@@ -315,7 +468,10 @@ type RuntimeRow struct {
 	SF, OS, OR, SAS, SAR time.Duration
 }
 
-// Runtimes measures the §6 execution-time comparison.
+// Runtimes measures the §6 execution-time comparison. It deliberately
+// ignores opts.Workers and runs everything serially: the point of the
+// experiment is the wall-clock cost of each algorithm, which concurrent
+// neighbours would distort.
 func Runtimes(opts Options) ([]RuntimeRow, error) {
 	opts.defaults()
 	var rows []RuntimeRow
@@ -343,12 +499,12 @@ func Runtimes(opts Options) ([]RuntimeRow, error) {
 		}
 		row.OR = time.Since(t0)
 		t0 = time.Now()
-		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, 1); err != nil {
+		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, 1, 1); err != nil {
 			return nil, err
 		}
 		row.SAS = time.Since(t0)
 		t0 = time.Now()
-		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeBuffers, opts.SAIterations, 1); err != nil {
+		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, 1); err != nil {
 			return nil, err
 		}
 		row.SAR = time.Since(t0)

@@ -1,0 +1,162 @@
+package expt
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sync/atomic"
+	"testing"
+)
+
+// TestGridSweepErrorShortCircuits checks the serial error semantics of
+// the sweep: the first cell-order error is returned, progress stops at
+// the failing cell, and (serially) no later cell even runs.
+func TestGridSweepErrorShortCircuits(t *testing.T) {
+	opts := Options{Seeds: 4, Workers: 1}
+	boom := errors.New("boom")
+	var calls atomic.Int64
+	var progressed []string
+	_, err := gridSweep(&opts, 2, func(pi int, seed int64) (int, error) {
+		calls.Add(1)
+		if pi == 0 && seed == 2 {
+			return 0, fmt.Errorf("cell(%d,%d): %w", pi, seed, boom)
+		}
+		return int(seed), nil
+	}, func(pi int, seed int64, v int) {
+		progressed = append(progressed, fmt.Sprintf("%d/%d=%d", pi, seed, v))
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the cell(0,2) error", err)
+	}
+	if got := calls.Load(); got != 2 {
+		t.Errorf("ran %d cells serially, want 2 (cancel skips the rest)", got)
+	}
+	if !reflect.DeepEqual(progressed, []string{"0/1=1"}) {
+		t.Errorf("progressed %v, want only the cell before the failure", progressed)
+	}
+}
+
+// TestGridSweepErrorParallel checks that a failing cell surfaces its
+// error with a parallel pool. Instant failures maximize the window in
+// which the engine skips claimed-but-unstarted cells after the cancel,
+// which used to leave their done channels open and deadlock the
+// streamer — hence the stress loop.
+func TestGridSweepErrorParallel(t *testing.T) {
+	boom := errors.New("boom")
+	for round := 0; round < 200; round++ {
+		opts := Options{Seeds: 4, Workers: 4}
+		_, err := gridSweep(&opts, 2, func(pi int, seed int64) (int, error) {
+			if pi == 0 && seed == 2 {
+				return 0, fmt.Errorf("cell(%d,%d): %w", pi, seed, boom)
+			}
+			return int(seed), nil
+		}, nil)
+		if !errors.Is(err, boom) {
+			t.Fatalf("round %d: err = %v, want the cell(0,2) error", round, err)
+		}
+	}
+}
+
+// withWorkers returns the tiny smoke options with the given pool size
+// and a progress buffer, so the tests can compare both rows and output.
+func withWorkers(workers int) (Options, *bytes.Buffer) {
+	opts := tiny()
+	opts.Workers = workers
+	var buf bytes.Buffer
+	opts.Progress = &buf
+	return opts, &buf
+}
+
+// TestFig9aParallelEqualsSerial checks rows and progress output are
+// identical for every worker count.
+func TestFig9aParallelEqualsSerial(t *testing.T) {
+	serialOpts, serialOut := withWorkers(1)
+	serial, err := Fig9a(serialOpts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parOpts, parOut := withWorkers(8)
+	par, err := Fig9a(parOpts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("rows differ: serial %+v, parallel %+v", serial, par)
+	}
+	if serialOut.String() != parOut.String() {
+		t.Errorf("progress output differs:\nserial:\n%s\nparallel:\n%s", serialOut, parOut)
+	}
+}
+
+// TestFig9bParallelEqualsSerial does the same for the buffer sweep.
+func TestFig9bParallelEqualsSerial(t *testing.T) {
+	serialOpts, serialOut := withWorkers(1)
+	serial, err := Fig9b(serialOpts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parOpts, parOut := withWorkers(8)
+	par, err := Fig9b(parOpts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("rows differ: serial %+v, parallel %+v", serial, par)
+	}
+	if serialOut.String() != parOut.String() {
+		t.Errorf("progress output differs")
+	}
+}
+
+// TestFig9cParallelEqualsSerial does the same for the traffic sweep.
+func TestFig9cParallelEqualsSerial(t *testing.T) {
+	serialOpts, _ := withWorkers(1)
+	serial, err := Fig9c(serialOpts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parOpts, _ := withWorkers(4)
+	par, err := Fig9c(parOpts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("rows differ: serial %+v, parallel %+v", serial, par)
+	}
+}
+
+// TestAblationParallelEqualsSerial does the same for the ablation grid.
+func TestAblationParallelEqualsSerial(t *testing.T) {
+	serialOpts, _ := withWorkers(1)
+	serial, err := Ablation(serialOpts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parOpts, _ := withWorkers(4)
+	par, err := Ablation(parOpts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("rows differ: serial %+v, parallel %+v", serial, par)
+	}
+}
+
+// TestCruiseParallelEqualsSerial covers the single-system path where
+// workers parallelize inside the optimizers.
+func TestCruiseParallelEqualsSerial(t *testing.T) {
+	serialOpts, _ := withWorkers(1)
+	serial, err := Cruise(serialOpts)
+	if err != nil {
+		t.Fatalf("serial: %v", err)
+	}
+	parOpts, _ := withWorkers(4)
+	par, err := Cruise(parOpts)
+	if err != nil {
+		t.Fatalf("parallel: %v", err)
+	}
+	if !reflect.DeepEqual(serial, par) {
+		t.Errorf("rows differ: serial %+v, parallel %+v", serial, par)
+	}
+}

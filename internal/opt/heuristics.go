@@ -1,10 +1,12 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"sort"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/hopa"
 	"repro/internal/model"
 	"repro/internal/tsched"
@@ -57,6 +59,10 @@ type OSOptions struct {
 	SlotCandidates int
 	// SeedLimit caps the seed_solutions list (default 6).
 	SeedLimit int
+	// Workers bounds the concurrent candidate evaluations (default 1 =
+	// serial). The result is identical for every value: candidates are
+	// generated up front and reduced in order.
+	Workers int
 }
 
 func (o *OSOptions) defaults() {
@@ -68,6 +74,9 @@ func (o *OSOptions) defaults() {
 	}
 	if o.SeedLimit <= 0 {
 		o.SeedLimit = 6
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 }
 
@@ -82,43 +91,43 @@ type OSResult struct {
 	Evaluations int
 }
 
+// osCandidate is one (owner, length) candidate of the Fig. 8 slot
+// search, ready to be evaluated.
+type osCandidate struct {
+	j   int        // slot index swapped into position i
+	l   model.Time // candidate length of position i
+	cfg *core.Config
+}
+
+// osEval is the evaluation of one candidate: the analyzed result plus
+// the analyses HOPA spent finding the priorities.
+type osEval struct {
+	r         *Result
+	hopaEvals int
+}
+
 // OptimizeSchedule is the greedy heuristic of Fig. 8: slot by slot it
 // chooses the owner and the slot length that maximize the degree of
 // schedulability, with HOPA priorities per candidate, recording the best
 // configurations (by delta and by s_total) as seeds for the second step.
+//
+// The candidates of each position are independent, so they are
+// evaluated across an engine pool of opts.Workers goroutines; the
+// reduction walks them in generation order, which makes the outcome
+// identical to the serial walk for any worker count.
 func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSOptions) (*OSResult, error) {
 	opts.defaults()
+	pool := engine.New(opts.Workers)
+	ctx := context.Background()
 	base := core.DefaultConfig(app, arch)
 	res := &OSResult{}
 	var seeds []*Result
 
-	tryCandidate := func(cfg *core.Config) (*Result, error) {
-		pr, err := hopa.Assign(app, arch, cfg.Round, opts.HOPAIterations)
-		if err != nil {
-			return nil, err
-		}
-		res.Evaluations += pr.Evaluations
-		full := cfg.Clone()
-		full.ProcPriority = pr.ProcPriority
-		full.MsgPriority = pr.MsgPriority
-		if err := full.Normalize(app); err != nil {
-			return nil, err
-		}
-		r, err := evaluate(app, arch, full)
-		if err != nil {
-			return nil, err
-		}
-		res.Evaluations++
-		seeds = append(seeds, r)
-		return r, nil
-	}
-
 	round := base.Round.Clone()
 	var best *Result
 	for i := range round.Slots {
-		bestAt := -1
-		var bestLen model.Time
-		var bestRes *Result
+		// Generate the full candidate batch for position i up front.
+		var cands []osCandidate
 		for j := i; j < len(round.Slots); j++ {
 			cand := round.Clone()
 			cand.Slots[i], cand.Slots[j] = cand.Slots[j], cand.Slots[i]
@@ -131,15 +140,45 @@ func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSO
 				if err := cfg.Normalize(app); err != nil {
 					return nil, err
 				}
-				r, err := tryCandidate(cfg)
-				if err != nil {
-					return nil, err
-				}
-				if bestRes == nil || better(r, bestRes) {
-					bestRes = r
-					bestAt = j
-					bestLen = l
-				}
+				cands = append(cands, osCandidate{j: j, l: l, cfg: cfg})
+			}
+		}
+
+		// Fan the HOPA + analysis work out across the pool.
+		evals, _ := engine.Map(ctx, pool, len(cands), func(_ context.Context, k int) (osEval, error) {
+			cfg := cands[k].cfg
+			pr, err := hopa.Assign(app, arch, cfg.Round, opts.HOPAIterations)
+			if err != nil {
+				return osEval{}, err
+			}
+			full := cfg.Clone()
+			full.ProcPriority = pr.ProcPriority
+			full.MsgPriority = pr.MsgPriority
+			if err := full.Normalize(app); err != nil {
+				return osEval{hopaEvals: pr.Evaluations}, err
+			}
+			r, err := evaluate(app, arch, full)
+			if err != nil {
+				return osEval{hopaEvals: pr.Evaluations}, err
+			}
+			return osEval{r: r, hopaEvals: pr.Evaluations}, nil
+		})
+
+		// Reduce in candidate order, exactly like the serial loop.
+		bestAt := -1
+		var bestLen model.Time
+		var bestRes *Result
+		for k, ev := range evals {
+			if ev.Err != nil {
+				return nil, ev.Err
+			}
+			res.Evaluations += ev.Value.hopaEvals + 1
+			r := ev.Value.r
+			seeds = append(seeds, r)
+			if bestRes == nil || better(r, bestRes) {
+				bestRes = r
+				bestAt = cands[k].j
+				bestLen = cands[k].l
 			}
 		}
 		if bestAt >= 0 {
@@ -215,9 +254,19 @@ type OROptions struct {
 	Seeds int
 	// RandSeed drives the sampled share of the neighbourhood.
 	RandSeed int64
+	// Workers bounds the concurrent neighbour evaluations (default 1 =
+	// serial; forwarded to the OS step unless OS.Workers is set). The
+	// hill-climbing outcome is identical for every value.
+	Workers int
 }
 
 func (o *OROptions) defaults() {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.OS.Workers <= 0 {
+		o.OS.Workers = o.Workers
+	}
 	o.OS.defaults()
 	if o.MaxIterations <= 0 {
 		o.MaxIterations = 40
@@ -264,6 +313,8 @@ func OptimizeResources(app *model.Application, arch *model.Architecture, opts OR
 		return out, nil
 	}
 	rng := rand.New(rand.NewSource(opts.RandSeed))
+	pool := engine.New(opts.Workers)
+	ctx := context.Background()
 	best := osres.Best
 	for si, seed := range osres.Seeds {
 		if si >= opts.Seeds {
@@ -274,15 +325,24 @@ func OptimizeResources(app *model.Application, arch *model.Architecture, opts OR
 		}
 		cur := seed
 		for it := 0; it < opts.MaxIterations; it++ {
+			// The neighbourhood is drawn serially (one rng stream, same
+			// sequence as the serial climber), then scored in parallel.
 			moves := GenerateMoves(app, arch, cur.Config, cur.Analysis, MoveBudget{Max: opts.NeighborBudget, Rand: rng})
-			var chosen *Result
-			for _, mv := range moves {
-				cfg, err := mv.Apply(app, arch, cur.Config)
+			evals, _ := engine.Map(ctx, pool, len(moves), func(_ context.Context, k int) (*Result, error) {
+				cfg, err := moves[k].Apply(app, arch, cur.Config)
 				if err != nil {
-					continue // structurally impossible move
+					return nil, nil // structurally impossible move
 				}
 				r, err := evaluate(app, arch, cfg)
 				if err != nil {
+					return nil, nil // unanalyzable neighbour: skip
+				}
+				return r, nil
+			})
+			var chosen *Result
+			for _, ev := range evals {
+				r := ev.Value
+				if r == nil {
 					continue
 				}
 				out.Evaluations++

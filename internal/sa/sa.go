@@ -7,10 +7,12 @@
 package sa
 
 import (
+	"context"
 	"math"
 	"math/rand"
 
 	"repro/internal/core"
+	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/opt"
 )
@@ -41,6 +43,14 @@ type Options struct {
 	// MoveBudget is how many candidate moves are generated per step;
 	// one is drawn at random (default 16).
 	MoveBudget int
+	// Restarts is the number of independent annealing chains run by
+	// RunRestarts, seeded Seed, Seed+1, ... (default 1). An annealing
+	// chain is inherently sequential, so restarts are the unit of
+	// parallelism.
+	Restarts int
+	// Workers bounds the concurrently running chains (default 1 =
+	// serial). The best-ever result is identical for every value.
+	Workers int
 }
 
 func (o *Options) defaults() {
@@ -61,6 +71,12 @@ func (o *Options) defaults() {
 	}
 	if o.MoveBudget <= 0 {
 		o.MoveBudget = 16
+	}
+	if o.Restarts <= 0 {
+		o.Restarts = 1
+	}
+	if o.Workers <= 0 {
+		o.Workers = 1
 	}
 }
 
@@ -139,6 +155,42 @@ func Run(app *model.Application, arch *model.Architecture, initial *core.Config,
 	return res, nil
 }
 
+// RunRestarts anneals opts.Restarts independent chains from the same
+// initial configuration, seeded opts.Seed, opts.Seed+1, ..., across an
+// engine pool of opts.Workers goroutines, and returns the best-ever
+// result over all chains (ties broken by the lowest chain index, so the
+// outcome is deterministic for every worker count). Evaluations and
+// Accepted are summed over the chains.
+func RunRestarts(app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
+	opts.defaults()
+	if opts.Restarts == 1 {
+		return Run(app, arch, initial, opts)
+	}
+	jobs := make([]func(context.Context) (*Result, error), opts.Restarts)
+	for i := range jobs {
+		chainOpts := opts
+		chainOpts.Seed = opts.Seed + int64(i)
+		chainOpts.Restarts, chainOpts.Workers = 1, 1
+		jobs[i] = func(context.Context) (*Result, error) {
+			return Run(app, arch, initial, chainOpts)
+		}
+	}
+	chains, _ := engine.Sweep(context.Background(), engine.New(opts.Workers), jobs)
+	out := &Result{}
+	for _, c := range chains {
+		if c.Err != nil {
+			return nil, c.Err
+		}
+		r := c.Value
+		out.Evaluations += r.Evaluations
+		out.Accepted += r.Accepted
+		if out.Best == nil || cost(opts.Objective, r.Best) < cost(opts.Objective, out.Best) {
+			out.Best = r.Best
+		}
+	}
+	return out, nil
+}
+
 // RunSAS anneals for the degree of schedulability from the SF starting
 // point (the paper's SA Schedule baseline).
 func RunSAS(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
@@ -158,7 +210,7 @@ func runFromSF(app *model.Application, arch *model.Architecture, opts Options) (
 	if err != nil {
 		return nil, err
 	}
-	res, err := Run(app, arch, sf.Config, opts)
+	res, err := RunRestarts(app, arch, sf.Config, opts)
 	if err != nil {
 		return nil, err
 	}

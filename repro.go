@@ -19,17 +19,19 @@
 //	fmt.Println(res.Analysis.Schedulable, res.Analysis.Buffers.Total)
 //
 // The heavy lifting lives in the internal packages (model, ttp, can,
-// rta, gateway, tsched, core, hopa, opt, sa, gen, sim, cruise, expt);
-// see DESIGN.md for the architecture and EXPERIMENTS.md for the
-// paper-versus-measured record.
+// rta, gateway, tsched, core, engine, hopa, opt, sa, gen, sim, cruise,
+// expt); see docs/ARCHITECTURE.md for the package map and README.md
+// for the tool guide.
 package repro
 
 import (
+	"context"
 	"fmt"
 	"io"
 
 	"repro/internal/core"
 	"repro/internal/cruise"
+	"repro/internal/engine"
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/opt"
@@ -123,6 +125,20 @@ func Analyze(app *Application, arch *Architecture, cfg *Config) (*Analysis, erro
 	return core.Analyze(app, arch, cfg)
 }
 
+// Evaluation couples one candidate configuration with its analysis (or
+// the analysis error) in an AnalyzeAll batch.
+type Evaluation = engine.Evaluation
+
+// AnalyzeAll analyzes a batch of independent candidate configurations
+// across a bounded worker pool and returns one evaluation per
+// configuration, in input order (identical to analyzing them serially).
+// workers <= 0 selects runtime.NumCPU(); per-configuration failures are
+// captured in Evaluation.Err rather than failing the batch. The context
+// cancels the remaining work.
+func AnalyzeAll(ctx context.Context, app *Application, arch *Architecture, cfgs []*Config, workers int) ([]Evaluation, error) {
+	return engine.EvaluateAll(ctx, engine.New(workers), app, arch, cfgs)
+}
+
 // Simulate executes the configured system in the discrete-event
 // simulator and reports observed response times, queue peaks and any
 // platform-invariant violations.
@@ -205,6 +221,14 @@ type SynthesisOptions struct {
 	Seed int64
 	// OR tunes OptimizeResources (used by StrategyOptimizeResources).
 	OR opt.OROptions
+	// Workers bounds the concurrent evaluations of the internal engine
+	// pool (default 1 = serial; mcs-synth passes runtime.NumCPU()). The
+	// synthesized configuration is identical for every value.
+	Workers int
+	// SARestarts is the number of independent annealing chains for the
+	// SAS/SAR strategies (default 1); chains run across the worker pool
+	// and the best-ever solution wins.
+	SARestarts int
 }
 
 // SynthesisResult couples the chosen configuration with its analysis.
@@ -217,6 +241,14 @@ type SynthesisResult struct {
 
 // Synthesize finds a system configuration with the selected strategy.
 func Synthesize(app *Application, arch *Architecture, opts SynthesisOptions) (*SynthesisResult, error) {
+	if opts.Workers > 0 {
+		if opts.OR.Workers <= 0 {
+			opts.OR.Workers = opts.Workers
+		}
+		if opts.OR.OS.Workers <= 0 {
+			opts.OR.OS.Workers = opts.Workers
+		}
+	}
 	switch opts.Strategy {
 	case StrategyStraightforward:
 		r, err := opt.Straightforward(app, arch)
@@ -249,8 +281,9 @@ func Synthesize(app *Application, arch *Architecture, opts SynthesisOptions) (*S
 		if err != nil {
 			return nil, err
 		}
-		r, err := sa.Run(app, arch, sf.Config, sa.Options{
+		r, err := sa.RunRestarts(app, arch, sf.Config, sa.Options{
 			Objective: obj, Iterations: opts.SAIterations, Seed: seed,
+			Restarts: opts.SARestarts, Workers: opts.Workers,
 		})
 		if err != nil {
 			return nil, err
