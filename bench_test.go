@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"context"
 	"io"
 	"testing"
 
@@ -54,7 +55,7 @@ func BenchmarkFigure4(b *testing.B) {
 // BenchmarkFig9a regenerates the degree-of-schedulability figure (E2).
 func BenchmarkFig9a(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Fig9a(benchOpts())
+		rows, err := expt.Fig9a(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -65,7 +66,7 @@ func BenchmarkFig9a(b *testing.B) {
 // BenchmarkFig9b regenerates the buffer-need-vs-size figure (E3).
 func BenchmarkFig9b(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Fig9b(benchOpts())
+		rows, err := expt.Fig9b(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -76,7 +77,7 @@ func BenchmarkFig9b(b *testing.B) {
 // BenchmarkFig9c regenerates the buffer-vs-traffic figure (E4).
 func BenchmarkFig9c(b *testing.B) {
 	for i := 0; i < b.N; i++ {
-		rows, err := expt.Fig9c(benchOpts())
+		rows, err := expt.Fig9c(context.Background(), benchOpts())
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -98,7 +99,7 @@ func BenchmarkCruiseSynthesis(b *testing.B) {
 		if err != nil {
 			b.Fatal(err)
 		}
-		orres, err := opt.OptimizeResources(app, arch, opt.OROptions{})
+		orres, err := opt.OptimizeResources(context.Background(), app, arch, opt.OROptions{})
 		if err != nil {
 			b.Fatal(err)
 		}
@@ -143,7 +144,7 @@ func BenchmarkOptimizeSchedule(b *testing.B) {
 	app, arch := benchSystem(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := opt.OptimizeSchedule(app, arch, opt.OSOptions{}); err != nil {
+		if _, err := opt.OptimizeSchedule(context.Background(), app, arch, opt.OSOptions{}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -154,7 +155,7 @@ func BenchmarkOptimizeResources(b *testing.B) {
 	app, arch := benchSystem(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := opt.OptimizeResources(app, arch, opt.OROptions{MaxIterations: 10}); err != nil {
+		if _, err := opt.OptimizeResources(context.Background(), app, arch, opt.OROptions{MaxIterations: 10}); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -167,7 +168,7 @@ func BenchmarkSimulatedAnnealing(b *testing.B) {
 	app, arch := benchSystem(b, 2)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := sa.RunSAS(app, arch, sa.Options{Iterations: 300, Seed: int64(i + 1)}); err != nil {
+		if _, err := sa.RunSAS(context.Background(), app, arch, sa.Options{Iterations: 300, Seed: int64(i + 1)}); err != nil {
 			b.Fatal(err)
 		}
 	}

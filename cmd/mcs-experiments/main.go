@@ -11,12 +11,16 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"strconv"
 	"strings"
+	"syscall"
 
 	"repro/internal/expt"
 )
@@ -45,11 +49,20 @@ func main() {
 		fatal(err)
 	}
 
+	// SIGINT/SIGTERM cancel the sweeps gracefully: running cells finish
+	// their current evaluation, queued cells are skipped.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	run := func(name string, f func() error) {
 		if *exp != "all" && *exp != name {
 			return
 		}
 		if err := f(); err != nil {
+			if errors.Is(err, context.Canceled) {
+				fmt.Fprintf(os.Stderr, "mcs-experiments: %s: interrupted\n", name)
+				os.Exit(130)
+			}
 			fatal(fmt.Errorf("%s: %w", name, err))
 		}
 		fmt.Println()
@@ -64,7 +77,7 @@ func main() {
 		return nil
 	})
 	run("fig9a", func() error {
-		rows, err := expt.Fig9a(opts)
+		rows, err := expt.Fig9a(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -72,7 +85,7 @@ func main() {
 		return nil
 	})
 	run("fig9b", func() error {
-		rows, err := expt.Fig9b(opts)
+		rows, err := expt.Fig9b(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -80,7 +93,7 @@ func main() {
 		return nil
 	})
 	run("fig9c", func() error {
-		rows, err := expt.Fig9c(opts)
+		rows, err := expt.Fig9c(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -88,7 +101,7 @@ func main() {
 		return nil
 	})
 	run("cruise", func() error {
-		rows, err := expt.Cruise(opts)
+		rows, err := expt.Cruise(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -96,7 +109,7 @@ func main() {
 		return nil
 	})
 	run("ablation", func() error {
-		rows, err := expt.Ablation(opts)
+		rows, err := expt.Ablation(ctx, opts)
 		if err != nil {
 			return err
 		}
@@ -104,7 +117,7 @@ func main() {
 		return nil
 	})
 	run("runtime", func() error {
-		rows, err := expt.Runtimes(opts)
+		rows, err := expt.Runtimes(ctx, opts)
 		if err != nil {
 			return err
 		}

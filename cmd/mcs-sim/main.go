@@ -9,9 +9,13 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 
 	"repro"
 )
@@ -44,8 +48,26 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{Strategy: strat})
+
+	// One Solver session drives both the synthesis and the simulation;
+	// Ctrl-C cancels whichever is running.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	solver, err := repro.NewSolver(sys.Application, sys.Architecture, repro.WithStrategy(strat))
 	if err != nil {
+		fatal(err)
+	}
+	res, err := solver.Synthesize(ctx)
+	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			if res != nil {
+				fmt.Fprintf(os.Stderr, "mcs-sim: interrupted during synthesis; best so far: schedulable=%v delta=%d s_total=%dB (nothing simulated)\n",
+					res.Analysis.Schedulable, res.Analysis.Delta, res.Analysis.Buffers.Total)
+			} else {
+				fmt.Fprintln(os.Stderr, "mcs-sim: interrupted before any configuration was evaluated")
+			}
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	if !res.Analysis.Schedulable {
@@ -65,8 +87,12 @@ func main() {
 	default:
 		fatal(fmt.Errorf("unknown -exec %q (want worst, best or random)", *execMode))
 	}
-	simRes, err := repro.Simulate(sys.Application, sys.Architecture, res.Config, res.Analysis, opts)
+	simRes, err := solver.Simulate(ctx, res.Config, res.Analysis, opts)
 	if err != nil {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mcs-sim: interrupted during simulation")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 

@@ -4,6 +4,11 @@
 // schedulability analysis report (response times, degree of
 // schedulability, gateway buffer bounds).
 //
+// The synthesis runs on a repro.Solver session: Ctrl-C cancels the
+// search gracefully and still prints (and saves) the best configuration
+// found so far, and -v streams live progress events while the
+// optimizer runs.
+//
 // Examples:
 //
 //	mcs-gen -nodes 2 -o app.json
@@ -12,11 +17,15 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"runtime"
 	"sort"
+	"syscall"
 
 	"repro"
 )
@@ -30,7 +39,7 @@ func main() {
 		saRestarts = flag.Int("sa-restarts", 1, "independent annealing chains for sas/sar (best-ever wins)")
 		seed       = flag.Int64("seed", 1, "seed for the randomized strategies")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers (1 = serial; results are identical)")
-		verbose    = flag.Bool("v", false, "print per-process response times")
+		verbose    = flag.Bool("v", false, "stream live progress and print per-process response times")
 		tables     = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
 		saveCfg    = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
 	)
@@ -44,12 +53,37 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	res, err := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{
-		Strategy: strat, SAIterations: *saIters, Seed: *seed,
-		Workers: *workers, SARestarts: *saRestarts,
-	})
+
+	opts := []repro.Option{
+		repro.WithStrategy(strat),
+		repro.WithSAIterations(*saIters),
+		repro.WithSARestarts(*saRestarts),
+		repro.WithSeed(*seed),
+		repro.WithWorkers(*workers),
+	}
+	if *verbose {
+		opts = append(opts, repro.WithObserver(repro.ObserverFunc(func(p repro.Progress) {
+			fmt.Fprintf(os.Stderr, "progress %v/%s step=%d evals=%d delta=%d s_total=%d schedulable=%v\n",
+				p.Strategy, p.Phase, p.Step, p.Evaluations, p.BestDelta, p.BestBuffers, p.Schedulable)
+		})))
+	}
+	solver, err := repro.NewSolver(sys.Application, sys.Architecture, opts...)
 	if err != nil {
 		fatal(err)
+	}
+
+	// Ctrl-C cancels the search within one evaluation granule; the
+	// best-so-far configuration is still reported below.
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	res, err := solver.Synthesize(ctx)
+	interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
+	if err != nil && !interrupted {
+		fatal(err)
+	}
+	if interrupted {
+		fmt.Fprintln(os.Stderr, "mcs-synth: interrupted — reporting the best configuration found so far")
 	}
 	report(sys, strat, res, *verbose)
 	if *saveCfg != "" {
@@ -68,6 +102,9 @@ func main() {
 	if *tables {
 		fmt.Println()
 		res.Analysis.WriteScheduleTables(os.Stdout, sys.Application, sys.Architecture)
+	}
+	if interrupted {
+		os.Exit(130)
 	}
 	if !res.Analysis.Schedulable {
 		os.Exit(2)

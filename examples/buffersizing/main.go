@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 	"sort"
@@ -26,11 +27,18 @@ func main() {
 	fmt.Printf("%s: %d processes, %d gateway messages\n\n",
 		app.Name, len(app.Procs), len(app.GatewayEdges(arch)))
 
-	osRes, err := repro.Synthesize(app, arch, repro.SynthesisOptions{Strategy: repro.StrategyOptimizeSchedule})
+	// One Solver session serves both strategies, so the second run
+	// reuses the cached slot candidates and configuration templates.
+	ctx := context.Background()
+	solver, err := repro.NewSolver(app, arch)
 	if err != nil {
 		log.Fatal(err)
 	}
-	orRes, err := repro.Synthesize(app, arch, repro.SynthesisOptions{Strategy: repro.StrategyOptimizeResources})
+	osRes, err := solver.SynthesizeWith(ctx, repro.StrategyOptimizeSchedule)
+	if err != nil {
+		log.Fatal(err)
+	}
+	orRes, err := solver.SynthesizeWith(ctx, repro.StrategyOptimizeResources)
 	if err != nil {
 		log.Fatal(err)
 	}

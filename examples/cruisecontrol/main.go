@@ -7,6 +7,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -22,6 +23,13 @@ func main() {
 	fmt.Printf("%s: %d processes, %d messages (%d across the gateway), D = %d ms\n\n",
 		app.Name, len(app.Procs), len(app.Edges), len(app.GatewayEdges(arch)), app.Graphs[0].Deadline)
 
+	// One Solver session runs all three algorithms over the same cached
+	// derived state, then validates the OS result in the simulator.
+	ctx := context.Background()
+	solver, err := repro.NewSolver(app, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("alg   response   meets?   buffers")
 	var osRes *repro.SynthesisResult
 	for _, s := range []repro.Strategy{
@@ -29,7 +37,7 @@ func main() {
 		repro.StrategyOptimizeSchedule,
 		repro.StrategyOptimizeResources,
 	} {
-		res, err := repro.Synthesize(app, arch, repro.SynthesisOptions{Strategy: s})
+		res, err := solver.SynthesizeWith(ctx, s)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -40,7 +48,7 @@ func main() {
 	}
 	fmt.Println("\n(paper: SF misses at 320 ms; OS meets at 185 ms; OR cuts the OS buffers by 24%)")
 
-	simRes, err := repro.Simulate(app, arch, osRes.Config, osRes.Analysis, repro.SimOptions{Cycles: 4, Exec: repro.ExecRandom, Seed: 9})
+	simRes, err := solver.Simulate(ctx, osRes.Config, osRes.Analysis, repro.SimOptions{Cycles: 4, Exec: repro.ExecRandom, Seed: 9})
 	if err != nil {
 		log.Fatal(err)
 	}

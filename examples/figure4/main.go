@@ -6,6 +6,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -38,6 +39,12 @@ func main() {
 		log.Fatal(err)
 	}
 
+	// One Solver session analyzes all four panel configurations.
+	ctx := context.Background()
+	solver, err := repro.NewSolver(app, arch)
+	if err != nil {
+		log.Fatal(err)
+	}
 	fmt.Println("panel  S_G first  P2 high   R_G1  meets D=200?")
 	for _, panel := range []struct {
 		name            string
@@ -68,7 +75,7 @@ func main() {
 		if err := cfg.Normalize(app); err != nil {
 			log.Fatal(err)
 		}
-		a, err := repro.Analyze(app, arch, cfg)
+		a, err := solver.Analyze(ctx, cfg)
 		if err != nil {
 			log.Fatal(err)
 		}

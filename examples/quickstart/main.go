@@ -5,6 +5,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -47,11 +48,17 @@ func main() {
 		log.Fatal(err)
 	}
 
-	// Synthesize: OptimizeResources = greedy schedule optimization
-	// followed by buffer minimization.
-	res, err := repro.Synthesize(app, arch, repro.SynthesisOptions{
-		Strategy: repro.StrategyOptimizeResources,
-	})
+	// Synthesize with a Solver session: OptimizeResources = greedy
+	// schedule optimization followed by buffer minimization. The
+	// context would let us cancel the search; see cmd/mcs-synth for
+	// SIGINT wiring.
+	ctx := context.Background()
+	solver, err := repro.NewSolver(app, arch,
+		repro.WithStrategy(repro.StrategyOptimizeResources))
+	if err != nil {
+		log.Fatal(err)
+	}
+	res, err := solver.Synthesize(ctx)
 	if err != nil {
 		log.Fatal(err)
 	}
@@ -64,7 +71,7 @@ func main() {
 
 	// Validate the synthesized configuration in the discrete-event
 	// simulator: observations must stay within the analysed bounds.
-	simRes, err := repro.Simulate(app, arch, res.Config, a, repro.SimOptions{Cycles: 2})
+	simRes, err := solver.Simulate(ctx, res.Config, a, repro.SimOptions{Cycles: 2})
 	if err != nil {
 		log.Fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"fmt"
 	"log"
 
@@ -15,6 +16,7 @@ import (
 )
 
 func main() {
+	ctx := context.Background()
 	checked, skipped := 0, 0
 	for seed := int64(1); seed <= 8; seed++ {
 		sys, err := repro.Generate(repro.GenSpec{
@@ -23,8 +25,15 @@ func main() {
 		if err != nil {
 			log.Fatal(err)
 		}
-		app, arch := sys.Application, sys.Architecture
-		res, err := repro.Synthesize(app, arch, repro.SynthesisOptions{Strategy: repro.StrategyOptimizeSchedule})
+		// A fresh system per seed means a fresh Solver session; the
+		// session then serves both the synthesis and the two
+		// simulation runs below.
+		solver, err := repro.NewSolver(sys.Application, sys.Architecture,
+			repro.WithStrategy(repro.StrategyOptimizeSchedule))
+		if err != nil {
+			log.Fatal(err)
+		}
+		res, err := solver.Synthesize(ctx)
 		if err != nil {
 			log.Fatal(err)
 		}
@@ -38,7 +47,7 @@ func main() {
 			name string
 			mode repro.SimExecMode
 		}{{"worst-case", repro.ExecWorstCase}, {"random", repro.ExecRandom}} {
-			simRes, err := repro.Simulate(app, arch, res.Config, res.Analysis,
+			simRes, err := solver.Simulate(ctx, res.Config, res.Analysis,
 				repro.SimOptions{Cycles: 2, Exec: exec.mode, Seed: seed})
 			if err != nil {
 				log.Fatal(err)

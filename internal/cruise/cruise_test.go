@@ -1,6 +1,7 @@
 package cruise
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/model"
@@ -83,7 +84,7 @@ func TestPublishedBehaviourShape(t *testing.T) {
 		t.Errorf("SF response = %d, want > 250", sf.Analysis.GraphResp[0])
 	}
 
-	osres, err := opt.OptimizeSchedule(app, arch, opt.OSOptions{})
+	osres, err := opt.OptimizeSchedule(context.Background(), app, arch, opt.OSOptions{})
 	if err != nil {
 		t.Fatalf("OptimizeSchedule: %v", err)
 	}
@@ -97,7 +98,7 @@ func TestPublishedBehaviourShape(t *testing.T) {
 		t.Errorf("OS (%d) must beat SF (%d)", osres.Best.Analysis.GraphResp[0], sf.Analysis.GraphResp[0])
 	}
 
-	orres, err := opt.OptimizeResources(app, arch, opt.OROptions{})
+	orres, err := opt.OptimizeResources(context.Background(), app, arch, opt.OROptions{})
 	if err != nil {
 		t.Fatalf("OptimizeResources: %v", err)
 	}
@@ -118,7 +119,7 @@ func TestCruiseSimulation(t *testing.T) {
 		t.Fatalf("System: %v", err)
 	}
 	app, arch := sys.Application, sys.Architecture
-	osres, err := opt.OptimizeSchedule(app, arch, opt.OSOptions{})
+	osres, err := opt.OptimizeSchedule(context.Background(), app, arch, opt.OSOptions{})
 	if err != nil {
 		t.Fatalf("OptimizeSchedule: %v", err)
 	}

@@ -34,7 +34,7 @@ func sweepOptions(workers int) expt.Options {
 
 func benchmarkFig9a(b *testing.B, workers int) {
 	for i := 0; i < b.N; i++ {
-		if _, err := expt.Fig9a(sweepOptions(workers)); err != nil {
+		if _, err := expt.Fig9a(context.Background(), sweepOptions(workers)); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -1,6 +1,7 @@
 package engine_test
 
 import (
+	"context"
 	"runtime"
 	"testing"
 	"time"
@@ -23,7 +24,7 @@ func TestFig9aSweepSpeedup(t *testing.T) {
 	}
 	measure := func(workers int) time.Duration {
 		t0 := time.Now()
-		if _, err := expt.Fig9a(sweepOptions(workers)); err != nil {
+		if _, err := expt.Fig9a(context.Background(), sweepOptions(workers)); err != nil {
 			t.Fatal(err)
 		}
 		return time.Since(t0)

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -33,21 +34,25 @@ type AblationRow struct {
 
 // Ablation runs the four variants over the generated workloads, with
 // the (size, seed) cells fanned out across opts.Workers goroutines.
-func Ablation(opts Options) ([]AblationRow, error) {
+func Ablation(ctx context.Context, opts Options) ([]AblationRow, error) {
 	opts.defaults()
 	type cell struct {
 		full                     *opt.Result
 		aNoHopa, aNoSlot, aNoOff *core.Analysis
 	}
-	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+	cells, err := gridSweep(ctx, &opts, len(opts.Sizes), func(ctx context.Context, pi int, seed int64) (cell, error) {
 		sys, err := gen.Paper(opts.Sizes[pi], seed)
 		if err != nil {
 			return cell{}, err
 		}
 		app, arch := sys.Application, sys.Architecture
+		sv, err := cellSolver(app, arch, &opts, 1)
+		if err != nil {
+			return cell{}, err
+		}
 
 		// Full OptimizeSchedule.
-		full, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		full, err := sv.OptimizeSchedule(ctx)
 		if err != nil {
 			return cell{}, err
 		}

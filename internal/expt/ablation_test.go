@@ -2,13 +2,14 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 )
 
 func TestAblationSmoke(t *testing.T) {
 	opts := tiny()
-	rows, err := Ablation(opts)
+	rows, err := Ablation(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Ablation: %v", err)
 	}

@@ -1,6 +1,7 @@
 package expt
 
 import (
+	"context"
 	"fmt"
 	"io"
 
@@ -23,17 +24,17 @@ type CruiseRow struct {
 // Cruise runs SF, OS, OR, SAS and SAR on the cruise-controller model.
 // It is a single-system experiment, so opts.Workers parallelizes inside
 // the algorithms (optimizer neighbourhoods, annealing chains) rather
-// than across cells.
-func Cruise(opts Options) ([]CruiseRow, error) {
+// than across cells; one Solver session serves all five algorithms.
+func Cruise(ctx context.Context, opts Options) ([]CruiseRow, error) {
 	opts.defaults()
-	if opts.OR.Workers <= 0 {
-		opts.OR.Workers = opts.Workers
-	}
 	sys, err := cruise.System()
 	if err != nil {
 		return nil, err
 	}
-	app, arch := sys.Application, sys.Architecture
+	sv, err := cellSolver(sys.Application, sys.Architecture, &opts, opts.Workers)
+	if err != nil {
+		return nil, err
+	}
 	var rows []CruiseRow
 	add := func(name string, r *opt.Result) {
 		rows = append(rows, CruiseRow{
@@ -41,23 +42,23 @@ func Cruise(opts Options) ([]CruiseRow, error) {
 			Schedulable: r.Schedulable(), STotal: r.STotal(),
 		})
 	}
-	sf, err := opt.Straightforward(app, arch)
+	sf, err := sv.Straightforward(ctx)
 	if err != nil {
 		return nil, err
 	}
 	add("SF", sf)
-	orres, err := opt.OptimizeResources(app, arch, opts.OR)
+	orres, err := sv.OptimizeResources(ctx)
 	if err != nil {
 		return nil, err
 	}
 	add("OS", orres.OS.Best)
 	add("OR", orres.Best)
-	sas, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeDelta, opts.SAIterations, 1, opts.Workers)
+	sas, _, err := bestSA(ctx, sv, orres.OS.Best, sa.MinimizeDelta, opts.SAIterations, 1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}
 	add("SAS", sas)
-	sar, _, err := bestSA(app, arch, orres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, opts.Workers)
+	sar, _, err := bestSA(ctx, sv, orres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, opts.Workers)
 	if err != nil {
 		return nil, err
 	}

@@ -22,6 +22,7 @@ import (
 	"repro/internal/model"
 	"repro/internal/opt"
 	"repro/internal/sa"
+	"repro/internal/solve"
 )
 
 // Options parameterizes the experiment sweeps.
@@ -71,17 +72,29 @@ func (o *Options) defaults() {
 	}
 }
 
+// cellSolver builds the per-cell synthesis session of a sweep: serial
+// (the sweep already parallelizes at cell grain), tuned by the sweep's
+// OR options and SA budget, caching the cell system's derived state
+// across the several algorithms each cell runs.
+func cellSolver(app *model.Application, arch *model.Architecture, opts *Options, workers int) (*solve.Solver, error) {
+	return solve.New(app, arch,
+		solve.WithWorkers(workers),
+		solve.WithOROptions(opts.OR),
+		solve.WithSAIterations(opts.SAIterations))
+}
+
 // gridSweep fans one job per (point, seed) cell of a sweep out across
 // the engine pool and returns the cells as [point][seed-1], failing
 // with the first error in cell order (what a serial sweep would have
 // hit first). Each cell must be self-contained: it generates its own
 // system and synthesizes it, sharing nothing with its neighbours.
+// Cancelling ctx aborts the sweep with ctx's error.
 //
 // onCell, when non-nil, is the live progress hook: it runs once per
 // successful cell, in strict cell order, as soon as the cell and all
 // its predecessors have finished — so -progress lines appear while the
 // sweep is still running, yet read exactly like a serial run's.
-func gridSweep[T any](opts *Options, points int, fn func(point int, seed int64) (T, error), onCell func(point int, seed int64, v T)) ([][]T, error) {
+func gridSweep[T any](ctx context.Context, opts *Options, points int, fn func(ctx context.Context, point int, seed int64) (T, error), onCell func(point int, seed int64, v T)) ([][]T, error) {
 	n := points * opts.Seeds
 	type slot struct {
 		v   T
@@ -93,15 +106,16 @@ func gridSweep[T any](opts *Options, points int, fn func(point int, seed int64) 
 		done[i] = make(chan struct{})
 	}
 	// A failed cell cancels the sweep so unstarted cells are skipped
-	// instead of burning hours of compute after a doomed run.
-	ctx, cancel := context.WithCancel(context.Background())
+	// instead of burning hours of compute after a doomed run; the
+	// caller's ctx cancels for the same effect from outside.
+	ctx, cancel := context.WithCancel(ctx)
 	defer cancel()
 	jobs := make([]func(context.Context) (struct{}, error), 0, n)
 	for pi := 0; pi < points; pi++ {
 		for seed := int64(1); seed <= int64(opts.Seeds); seed++ {
 			pi, seed, i := pi, seed, len(jobs)
-			jobs = append(jobs, func(context.Context) (struct{}, error) {
-				v, err := fn(pi, seed)
+			jobs = append(jobs, func(jctx context.Context) (struct{}, error) {
+				v, err := fn(jctx, pi, seed)
 				slots[i] = slot{v: v, err: err}
 				if err != nil {
 					cancel()
@@ -193,8 +207,9 @@ func deviationPct(value, best float64) float64 {
 // independent and run across an engine pool of workers goroutines
 // (pass 1 from inside an already-parallel sweep cell); the reduction
 // keeps chain order, so the outcome does not depend on the pool size.
-func bestSA(app *model.Application, arch *model.Architecture, osBest *opt.Result, obj sa.Objective, iters int, seed int64, workers int) (*opt.Result, int, error) {
-	sf, err := opt.Straightforward(app, arch)
+func bestSA(ctx context.Context, sv *solve.Solver, osBest *opt.Result, obj sa.Objective, iters int, seed int64, workers int) (*opt.Result, int, error) {
+	app, arch := sv.Application(), sv.Architecture()
+	sf, err := sv.Straightforward(ctx)
 	if err != nil {
 		return nil, 0, err
 	}
@@ -205,13 +220,13 @@ func bestSA(app *model.Application, arch *model.Architecture, osBest *opt.Result
 	jobs := make([]func(context.Context) (*sa.Result, error), len(runs))
 	for i, init := range runs {
 		i, init := i, init
-		jobs[i] = func(context.Context) (*sa.Result, error) {
-			return sa.Run(app, arch, init, sa.Options{
+		jobs[i] = func(jctx context.Context) (*sa.Result, error) {
+			return sa.Run(jctx, app, arch, init, sa.Options{
 				Objective: obj, Iterations: iters, Seed: seed + int64(i),
 			})
 		}
 	}
-	chains, _ := engine.Sweep(context.Background(), engine.New(workers), jobs)
+	chains, _ := engine.Sweep(ctx, engine.New(workers), jobs)
 	evals := 0
 	var best *opt.Result
 	for _, c := range chains {
@@ -257,27 +272,31 @@ type Fig9aRow struct {
 
 // Fig9a runs the degree-of-schedulability experiment. Cells fan out
 // across opts.Workers goroutines; the row reduction is serial and in
-// cell order.
-func Fig9a(opts Options) ([]Fig9aRow, error) {
+// cell order. Each cell drives one Solver session, so the three
+// algorithms of the cell share the derived state of its system.
+func Fig9a(ctx context.Context, opts Options) ([]Fig9aRow, error) {
 	opts.defaults()
 	type cell struct {
 		sf, os, sas *opt.Result
 	}
-	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+	cells, err := gridSweep(ctx, &opts, len(opts.Sizes), func(ctx context.Context, pi int, seed int64) (cell, error) {
 		sys, err := gen.Paper(opts.Sizes[pi], seed)
 		if err != nil {
 			return cell{}, err
 		}
-		app, arch := sys.Application, sys.Architecture
-		sf, err := opt.Straightforward(app, arch)
+		sv, err := cellSolver(sys.Application, sys.Architecture, &opts, 1)
 		if err != nil {
 			return cell{}, err
 		}
-		osres, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		sf, err := sv.Straightforward(ctx)
 		if err != nil {
 			return cell{}, err
 		}
-		sas, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, seed, 1)
+		osres, err := sv.OptimizeSchedule(ctx)
+		if err != nil {
+			return cell{}, err
+		}
+		sas, _, err := bestSA(ctx, sv, osres.Best, sa.MinimizeDelta, opts.SAIterations, seed, 1)
 		if err != nil {
 			return cell{}, err
 		}
@@ -337,22 +356,25 @@ type Fig9bRow struct {
 
 // Fig9b runs the buffer-need experiment over application sizes, with
 // the (size, seed) cells fanned out across opts.Workers goroutines.
-func Fig9b(opts Options) ([]Fig9bRow, error) {
+func Fig9b(ctx context.Context, opts Options) ([]Fig9bRow, error) {
 	opts.defaults()
 	type cell struct {
 		os, or, sar *opt.Result
 	}
-	cells, err := gridSweep(&opts, len(opts.Sizes), func(pi int, seed int64) (cell, error) {
+	cells, err := gridSweep(ctx, &opts, len(opts.Sizes), func(ctx context.Context, pi int, seed int64) (cell, error) {
 		sys, err := gen.Paper(opts.Sizes[pi], seed)
 		if err != nil {
 			return cell{}, err
 		}
-		app, arch := sys.Application, sys.Architecture
-		orres, err := opt.OptimizeResources(app, arch, opts.OR)
+		sv, err := cellSolver(sys.Application, sys.Architecture, &opts, 1)
 		if err != nil {
 			return cell{}, err
 		}
-		sar, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
+		orres, err := sv.OptimizeResources(ctx)
+		if err != nil {
+			return cell{}, err
+		}
+		sar, _, err := bestSA(ctx, sv, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
 		if err != nil {
 			return cell{}, err
 		}
@@ -405,22 +427,25 @@ type Fig9cRow struct {
 
 // Fig9c runs the inter-cluster traffic experiment, with the (traffic,
 // seed) cells fanned out across opts.Workers goroutines.
-func Fig9c(opts Options) ([]Fig9cRow, error) {
+func Fig9c(ctx context.Context, opts Options) ([]Fig9cRow, error) {
 	opts.defaults()
 	type cell struct {
 		os, or, sar *opt.Result
 	}
-	cells, err := gridSweep(&opts, len(opts.Inter), func(pi int, seed int64) (cell, error) {
+	cells, err := gridSweep(ctx, &opts, len(opts.Inter), func(ctx context.Context, pi int, seed int64) (cell, error) {
 		sys, err := gen.Fig9c(opts.Inter[pi], seed)
 		if err != nil {
 			return cell{}, err
 		}
-		app, arch := sys.Application, sys.Architecture
-		orres, err := opt.OptimizeResources(app, arch, opts.OR)
+		sv, err := cellSolver(sys.Application, sys.Architecture, &opts, 1)
 		if err != nil {
 			return cell{}, err
 		}
-		sar, _, err := bestSA(app, arch, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
+		orres, err := sv.OptimizeResources(ctx)
+		if err != nil {
+			return cell{}, err
+		}
+		sar, _, err := bestSA(ctx, sv, orres.OS.Best, sa.MinimizeBuffers, opts.SAIterations, seed, 1)
 		if err != nil {
 			return cell{}, err
 		}
@@ -471,40 +496,48 @@ type RuntimeRow struct {
 // Runtimes measures the §6 execution-time comparison. It deliberately
 // ignores opts.Workers and runs everything serially: the point of the
 // experiment is the wall-clock cost of each algorithm, which concurrent
-// neighbours would distort.
-func Runtimes(opts Options) ([]RuntimeRow, error) {
+// neighbours would distort. One Solver serves all algorithms of a size,
+// so the comparison includes the session-cache effect a service would
+// see.
+func Runtimes(ctx context.Context, opts Options) ([]RuntimeRow, error) {
 	opts.defaults()
 	var rows []RuntimeRow
 	for _, nodes := range opts.Sizes {
+		if err := ctx.Err(); err != nil {
+			return nil, err
+		}
 		sys, err := gen.Paper(nodes, 1)
 		if err != nil {
 			return nil, err
 		}
-		app, arch := sys.Application, sys.Architecture
+		sv, err := cellSolver(sys.Application, sys.Architecture, &opts, 1)
+		if err != nil {
+			return nil, err
+		}
 		row := RuntimeRow{Nodes: nodes, Procs: 40 * nodes}
 		t0 := time.Now()
-		if _, err := opt.Straightforward(app, arch); err != nil {
+		if _, err := sv.Straightforward(ctx); err != nil {
 			return nil, err
 		}
 		row.SF = time.Since(t0)
 		t0 = time.Now()
-		osres, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
+		osres, err := sv.OptimizeSchedule(ctx)
 		if err != nil {
 			return nil, err
 		}
 		row.OS = time.Since(t0)
 		t0 = time.Now()
-		if _, err := opt.OptimizeResources(app, arch, opts.OR); err != nil {
+		if _, err := sv.OptimizeResources(ctx); err != nil {
 			return nil, err
 		}
 		row.OR = time.Since(t0)
 		t0 = time.Now()
-		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeDelta, opts.SAIterations, 1, 1); err != nil {
+		if _, _, err := bestSA(ctx, sv, osres.Best, sa.MinimizeDelta, opts.SAIterations, 1, 1); err != nil {
 			return nil, err
 		}
 		row.SAS = time.Since(t0)
 		t0 = time.Now()
-		if _, _, err := bestSA(app, arch, osres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, 1); err != nil {
+		if _, _, err := bestSA(ctx, sv, osres.Best, sa.MinimizeBuffers, opts.SAIterations, 1, 1); err != nil {
 			return nil, err
 		}
 		row.SAR = time.Since(t0)

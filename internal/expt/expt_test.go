@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"strings"
 	"testing"
 
@@ -20,7 +21,7 @@ func tiny() Options {
 }
 
 func TestFig9aSmoke(t *testing.T) {
-	rows, err := Fig9a(tiny())
+	rows, err := Fig9a(context.Background(), tiny())
 	if err != nil {
 		t.Fatalf("Fig9a: %v", err)
 	}
@@ -46,7 +47,7 @@ func TestFig9aSmoke(t *testing.T) {
 }
 
 func TestFig9bSmoke(t *testing.T) {
-	rows, err := Fig9b(tiny())
+	rows, err := Fig9b(context.Background(), tiny())
 	if err != nil {
 		t.Fatalf("Fig9b: %v", err)
 	}
@@ -70,7 +71,7 @@ func TestFig9bSmoke(t *testing.T) {
 }
 
 func TestFig9cSmoke(t *testing.T) {
-	rows, err := Fig9c(tiny())
+	rows, err := Fig9c(context.Background(), tiny())
 	if err != nil {
 		t.Fatalf("Fig9c: %v", err)
 	}
@@ -115,7 +116,7 @@ func TestCruiseTable(t *testing.T) {
 	if testing.Short() {
 		t.Skip("full cruise sweep")
 	}
-	rows, err := Cruise(tiny())
+	rows, err := Cruise(context.Background(), tiny())
 	if err != nil {
 		t.Fatalf("Cruise: %v", err)
 	}
@@ -141,7 +142,7 @@ func TestCruiseTable(t *testing.T) {
 
 func TestRuntimesSmoke(t *testing.T) {
 	opts := tiny()
-	rows, err := Runtimes(opts)
+	rows, err := Runtimes(context.Background(), opts)
 	if err != nil {
 		t.Fatalf("Runtimes: %v", err)
 	}

@@ -2,6 +2,7 @@ package expt
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"reflect"
@@ -17,7 +18,7 @@ func TestGridSweepErrorShortCircuits(t *testing.T) {
 	boom := errors.New("boom")
 	var calls atomic.Int64
 	var progressed []string
-	_, err := gridSweep(&opts, 2, func(pi int, seed int64) (int, error) {
+	_, err := gridSweep(context.Background(), &opts, 2, func(_ context.Context, pi int, seed int64) (int, error) {
 		calls.Add(1)
 		if pi == 0 && seed == 2 {
 			return 0, fmt.Errorf("cell(%d,%d): %w", pi, seed, boom)
@@ -46,7 +47,7 @@ func TestGridSweepErrorParallel(t *testing.T) {
 	boom := errors.New("boom")
 	for round := 0; round < 200; round++ {
 		opts := Options{Seeds: 4, Workers: 4}
-		_, err := gridSweep(&opts, 2, func(pi int, seed int64) (int, error) {
+		_, err := gridSweep(context.Background(), &opts, 2, func(_ context.Context, pi int, seed int64) (int, error) {
 			if pi == 0 && seed == 2 {
 				return 0, fmt.Errorf("cell(%d,%d): %w", pi, seed, boom)
 			}
@@ -72,12 +73,12 @@ func withWorkers(workers int) (Options, *bytes.Buffer) {
 // identical for every worker count.
 func TestFig9aParallelEqualsSerial(t *testing.T) {
 	serialOpts, serialOut := withWorkers(1)
-	serial, err := Fig9a(serialOpts)
+	serial, err := Fig9a(context.Background(), serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	parOpts, parOut := withWorkers(8)
-	par, err := Fig9a(parOpts)
+	par, err := Fig9a(context.Background(), parOpts)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -92,12 +93,12 @@ func TestFig9aParallelEqualsSerial(t *testing.T) {
 // TestFig9bParallelEqualsSerial does the same for the buffer sweep.
 func TestFig9bParallelEqualsSerial(t *testing.T) {
 	serialOpts, serialOut := withWorkers(1)
-	serial, err := Fig9b(serialOpts)
+	serial, err := Fig9b(context.Background(), serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	parOpts, parOut := withWorkers(8)
-	par, err := Fig9b(parOpts)
+	par, err := Fig9b(context.Background(), parOpts)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -112,12 +113,12 @@ func TestFig9bParallelEqualsSerial(t *testing.T) {
 // TestFig9cParallelEqualsSerial does the same for the traffic sweep.
 func TestFig9cParallelEqualsSerial(t *testing.T) {
 	serialOpts, _ := withWorkers(1)
-	serial, err := Fig9c(serialOpts)
+	serial, err := Fig9c(context.Background(), serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	parOpts, _ := withWorkers(4)
-	par, err := Fig9c(parOpts)
+	par, err := Fig9c(context.Background(), parOpts)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -129,12 +130,12 @@ func TestFig9cParallelEqualsSerial(t *testing.T) {
 // TestAblationParallelEqualsSerial does the same for the ablation grid.
 func TestAblationParallelEqualsSerial(t *testing.T) {
 	serialOpts, _ := withWorkers(1)
-	serial, err := Ablation(serialOpts)
+	serial, err := Ablation(context.Background(), serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	parOpts, _ := withWorkers(4)
-	par, err := Ablation(parOpts)
+	par, err := Ablation(context.Background(), parOpts)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}
@@ -147,12 +148,12 @@ func TestAblationParallelEqualsSerial(t *testing.T) {
 // workers parallelize inside the optimizers.
 func TestCruiseParallelEqualsSerial(t *testing.T) {
 	serialOpts, _ := withWorkers(1)
-	serial, err := Cruise(serialOpts)
+	serial, err := Cruise(context.Background(), serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	parOpts, _ := withWorkers(4)
-	par, err := Cruise(parOpts)
+	par, err := Cruise(context.Background(), parOpts)
 	if err != nil {
 		t.Fatalf("parallel: %v", err)
 	}

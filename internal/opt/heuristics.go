@@ -2,6 +2,7 @@ package opt
 
 import (
 	"context"
+	"errors"
 	"math/rand"
 	"sort"
 
@@ -16,6 +17,61 @@ import (
 type Result struct {
 	Config   *core.Config
 	Analysis *core.Analysis
+}
+
+// Progress is one optimizer progress event: the reduction just
+// finished Step (a TDMA position for OptimizeSchedule, a hill-climbing
+// iteration for OptimizeResources), Evaluations analyses have been
+// spent so far, and Best is the incumbent (nil until a candidate
+// survives analysis). Events are emitted from the reducing goroutine,
+// in step order, for every worker count.
+type Progress struct {
+	Phase       string // "os" or "or"
+	Step        int
+	Evaluations int
+	Best        *Result
+}
+
+// Hooks instruments an optimizer run and lets a long-lived session
+// inject cached derived state. The zero value disables everything.
+type Hooks struct {
+	// OnProgress, when non-nil, receives one event per reduction step.
+	OnProgress func(Progress)
+	// SlotLengths, when non-nil, replaces
+	// tsched.RecommendedSlotLengths so a session can cache the
+	// candidate sets per slot owner. It must return exactly what the
+	// tsched call would (the optimizers rely on that for determinism).
+	SlotLengths func(owner model.NodeID, max int) []model.Time
+	// BaseConfig, when non-nil, replaces core.DefaultConfig as the
+	// starting template; it must return a fresh un-normalized clone
+	// per call.
+	BaseConfig func() *core.Config
+}
+
+func (h *Hooks) progress(p Progress) {
+	if h.OnProgress != nil {
+		h.OnProgress(p)
+	}
+}
+
+func (h *Hooks) slotLengths(app *model.Application, arch *model.Architecture, owner model.NodeID, max int) []model.Time {
+	if h.SlotLengths != nil {
+		return h.SlotLengths(owner, max)
+	}
+	return tsched.RecommendedSlotLengths(app, arch, owner, max)
+}
+
+func (h *Hooks) baseConfig(app *model.Application, arch *model.Architecture) *core.Config {
+	if h.BaseConfig != nil {
+		return h.BaseConfig()
+	}
+	return core.DefaultConfig(app, arch)
+}
+
+// canceled reports whether err is the batch-wide cancellation of ctx
+// (as opposed to a genuine per-candidate analysis failure).
+func canceled(ctx context.Context, err error) bool {
+	return err != nil && ctx.Err() != nil && errors.Is(err, ctx.Err())
 }
 
 // Delta is the degree of schedulability of the result.
@@ -63,6 +119,11 @@ type OSOptions struct {
 	// serial). The result is identical for every value: candidates are
 	// generated up front and reduced in order.
 	Workers int
+	// Pool, when non-nil, supplies the evaluation pool (typically a
+	// session-shared one) instead of a fresh engine.New(Workers).
+	Pool *engine.Pool
+	// Hooks instruments the run; see Hooks.
+	Hooks Hooks
 }
 
 func (o *OSOptions) defaults() {
@@ -115,23 +176,38 @@ type osEval struct {
 // evaluated across an engine pool of opts.Workers goroutines; the
 // reduction walks them in generation order, which makes the outcome
 // identical to the serial walk for any worker count.
-func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSOptions) (*OSResult, error) {
+//
+// Cancelling ctx stops the search at the next evaluation granule: the
+// returned OSResult then carries the best configuration and the seeds
+// found so far, together with ctx's error.
+func OptimizeSchedule(ctx context.Context, app *model.Application, arch *model.Architecture, opts OSOptions) (*OSResult, error) {
 	opts.defaults()
-	pool := engine.New(opts.Workers)
-	ctx := context.Background()
-	base := core.DefaultConfig(app, arch)
+	pool := opts.Pool
+	if pool == nil {
+		pool = engine.New(opts.Workers)
+	}
+	base := opts.Hooks.baseConfig(app, arch)
 	res := &OSResult{}
 	var seeds []*Result
+
+	partial := func(best *Result) (*OSResult, error) {
+		res.Best = best
+		res.Seeds = selectSeeds(seeds, opts.SeedLimit)
+		return res, ctx.Err()
+	}
 
 	round := base.Round.Clone()
 	var best *Result
 	for i := range round.Slots {
+		if ctx.Err() != nil {
+			return partial(best)
+		}
 		// Generate the full candidate batch for position i up front.
 		var cands []osCandidate
 		for j := i; j < len(round.Slots); j++ {
 			cand := round.Clone()
 			cand.Slots[i], cand.Slots[j] = cand.Slots[j], cand.Slots[i]
-			lengths := tsched.RecommendedSlotLengths(app, arch, cand.Slots[i].Node, opts.SlotCandidates)
+			lengths := opts.Hooks.slotLengths(app, arch, cand.Slots[i].Node, opts.SlotCandidates)
 			for _, l := range lengths {
 				cand2 := cand.Clone()
 				cand2.Slots[i].Length = l
@@ -170,6 +246,14 @@ func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSO
 		var bestRes *Result
 		for k, ev := range evals {
 			if ev.Err != nil {
+				if canceled(ctx, ev.Err) {
+					// Keep what this position already evaluated and
+					// stop: best-so-far beats nothing at all.
+					if bestRes != nil && (best == nil || better(bestRes, best)) {
+						best = bestRes
+					}
+					return partial(best)
+				}
 				return nil, ev.Err
 			}
 			res.Evaluations += ev.Value.hopaEvals + 1
@@ -188,6 +272,7 @@ func OptimizeSchedule(app *model.Application, arch *model.Architecture, opts OSO
 		if bestRes != nil && (best == nil || better(bestRes, best)) {
 			best = bestRes
 		}
+		opts.Hooks.progress(Progress{Phase: "os", Step: i + 1, Evaluations: res.Evaluations, Best: best})
 	}
 	res.Best = best
 	res.Seeds = selectSeeds(seeds, opts.SeedLimit)
@@ -258,6 +343,13 @@ type OROptions struct {
 	// serial; forwarded to the OS step unless OS.Workers is set). The
 	// hill-climbing outcome is identical for every value.
 	Workers int
+	// Pool, when non-nil, supplies the evaluation pool (typically a
+	// session-shared one) instead of a fresh engine.New(Workers); it is
+	// forwarded to the OS step unless OS.Pool is set.
+	Pool *engine.Pool
+	// Hooks instruments the hill climber; cache hooks are forwarded to
+	// the OS step unless OS.Hooks sets them.
+	Hooks Hooks
 }
 
 func (o *OROptions) defaults() {
@@ -266,6 +358,15 @@ func (o *OROptions) defaults() {
 	}
 	if o.OS.Workers <= 0 {
 		o.OS.Workers = o.Workers
+	}
+	if o.OS.Pool == nil {
+		o.OS.Pool = o.Pool
+	}
+	if o.OS.Hooks.SlotLengths == nil {
+		o.OS.Hooks.SlotLengths = o.Hooks.SlotLengths
+	}
+	if o.OS.Hooks.BaseConfig == nil {
+		o.OS.Hooks.BaseConfig = o.Hooks.BaseConfig
 	}
 	o.OS.defaults()
 	if o.MaxIterations <= 0 {
@@ -300,11 +401,19 @@ type ORResult struct {
 // first OptimizeSchedule finds schedulable seed solutions, then a
 // hill-climbing loop performs the §5.1 moves, accepting only schedulable
 // neighbours that strictly reduce s_total.
-func OptimizeResources(app *model.Application, arch *model.Architecture, opts OROptions) (*ORResult, error) {
+//
+// Cancelling ctx stops the climb at the next evaluation granule: the
+// returned ORResult then carries the best configuration found so far,
+// together with ctx's error.
+func OptimizeResources(ctx context.Context, app *model.Application, arch *model.Architecture, opts OROptions) (*ORResult, error) {
 	opts.defaults()
-	osres, err := OptimizeSchedule(app, arch, opts.OS)
+	osres, err := OptimizeSchedule(ctx, app, arch, opts.OS)
 	if err != nil {
-		return nil, err
+		if osres == nil || osres.Best == nil {
+			return nil, err
+		}
+		// Cancelled mid-OS: surface the best-effort OS result.
+		return &ORResult{OS: osres, Best: osres.Best, Evaluations: osres.Evaluations}, err
 	}
 	out := &ORResult{OS: osres, Best: osres.Best, Evaluations: osres.Evaluations}
 	if osres.Best == nil || !osres.Best.Schedulable() {
@@ -313,9 +422,12 @@ func OptimizeResources(app *model.Application, arch *model.Architecture, opts OR
 		return out, nil
 	}
 	rng := rand.New(rand.NewSource(opts.RandSeed))
-	pool := engine.New(opts.Workers)
-	ctx := context.Background()
+	pool := opts.Pool
+	if pool == nil {
+		pool = engine.New(opts.Workers)
+	}
 	best := osres.Best
+	step := 0
 	for si, seed := range osres.Seeds {
 		if si >= opts.Seeds {
 			break
@@ -325,6 +437,10 @@ func OptimizeResources(app *model.Application, arch *model.Architecture, opts OR
 		}
 		cur := seed
 		for it := 0; it < opts.MaxIterations; it++ {
+			if ctx.Err() != nil {
+				out.Best = best
+				return out, ctx.Err()
+			}
 			// The neighbourhood is drawn serially (one rng stream, same
 			// sequence as the serial climber), then scored in parallel.
 			moves := GenerateMoves(app, arch, cur.Config, cur.Analysis, MoveBudget{Max: opts.NeighborBudget, Rand: rng})
@@ -361,6 +477,8 @@ func OptimizeResources(app *model.Application, arch *model.Architecture, opts OR
 				best = cur
 				out.Improved = true
 			}
+			step++
+			opts.Hooks.progress(Progress{Phase: "or", Step: step, Evaluations: out.Evaluations, Best: best})
 		}
 	}
 	out.Best = best

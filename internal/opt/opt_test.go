@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"math/rand"
 	"testing"
 
@@ -70,7 +71,7 @@ func TestOptimizeScheduleBeatsSF(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Straightforward: %v", err)
 	}
-	osres, err := OptimizeSchedule(app, arch, OSOptions{})
+	osres, err := OptimizeSchedule(context.Background(), app, arch, OSOptions{})
 	if err != nil {
 		t.Fatalf("OptimizeSchedule: %v", err)
 	}
@@ -98,7 +99,7 @@ func TestOptimizeScheduleBeatsSF(t *testing.T) {
 
 func TestOptimizeResourcesReducesBuffers(t *testing.T) {
 	app, arch := small(t, 21)
-	orres, err := OptimizeResources(app, arch, OROptions{
+	orres, err := OptimizeResources(context.Background(), app, arch, OROptions{
 		MaxIterations: 10, NeighborBudget: 12, Seeds: 2,
 	})
 	if err != nil {
@@ -289,7 +290,7 @@ func TestORImprovesCruiseBuffers(t *testing.T) {
 		t.Fatalf("Generate: %v", err)
 	}
 	app, arch := sys.Application, sys.Architecture
-	orres, err := OptimizeResources(app, arch, OROptions{MaxIterations: 20, NeighborBudget: 16, Seeds: 3})
+	orres, err := OptimizeResources(context.Background(), app, arch, OROptions{MaxIterations: 20, NeighborBudget: 16, Seeds: 3})
 	if err != nil {
 		t.Fatalf("OptimizeResources: %v", err)
 	}
@@ -305,7 +306,7 @@ func TestORImprovesCruiseBuffers(t *testing.T) {
 // system must keep the analysis well-formed and the pin observable.
 func TestMovePinWithinInterval(t *testing.T) {
 	app, arch := fig4(t)
-	osres, err := OptimizeSchedule(app, arch, OSOptions{})
+	osres, err := OptimizeSchedule(context.Background(), app, arch, OSOptions{})
 	if err != nil {
 		t.Fatalf("OptimizeSchedule: %v", err)
 	}

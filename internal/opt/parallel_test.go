@@ -1,6 +1,7 @@
 package opt
 
 import (
+	"context"
 	"reflect"
 	"testing"
 )
@@ -10,12 +11,12 @@ import (
 // of a parallel run is identical to the serial run's.
 func TestOptimizeScheduleParallelEqualsSerial(t *testing.T) {
 	app, arch := small(t, 7)
-	serial, err := OptimizeSchedule(app, arch, OSOptions{Workers: 1})
+	serial, err := OptimizeSchedule(context.Background(), app, arch, OSOptions{Workers: 1})
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	for _, workers := range []int{2, 8} {
-		par, err := OptimizeSchedule(app, arch, OSOptions{Workers: workers})
+		par, err := OptimizeSchedule(context.Background(), app, arch, OSOptions{Workers: workers})
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -47,14 +48,14 @@ func TestOptimizeResourcesParallelEqualsSerial(t *testing.T) {
 	opts := OROptions{MaxIterations: 6, NeighborBudget: 12, RandSeed: 5}
 	serialOpts := opts
 	serialOpts.Workers = 1
-	serial, err := OptimizeResources(app, arch, serialOpts)
+	serial, err := OptimizeResources(context.Background(), app, arch, serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	for _, workers := range []int{2, 8} {
 		parOpts := opts
 		parOpts.Workers = workers
-		par, err := OptimizeResources(app, arch, parOpts)
+		par, err := OptimizeResources(context.Background(), app, arch, parOpts)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}

@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"reflect"
 	"testing"
 
@@ -19,14 +20,14 @@ func TestRunRestartsParallelEqualsSerial(t *testing.T) {
 	base := Options{Objective: MinimizeBuffers, Iterations: 60, Seed: 2, Restarts: 4}
 	serialOpts := base
 	serialOpts.Workers = 1
-	serial, err := RunRestarts(app, arch, initial, serialOpts)
+	serial, err := RunRestarts(context.Background(), app, arch, initial, serialOpts)
 	if err != nil {
 		t.Fatalf("serial: %v", err)
 	}
 	for _, workers := range []int{2, 8} {
 		parOpts := base
 		parOpts.Workers = workers
-		par, err := RunRestarts(app, arch, initial, parOpts)
+		par, err := RunRestarts(context.Background(), app, arch, initial, parOpts)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -49,11 +50,11 @@ func TestRunRestartsImprovesOnSingleChain(t *testing.T) {
 	if err := initial.Normalize(app); err != nil {
 		t.Fatalf("Normalize: %v", err)
 	}
-	one, err := RunRestarts(app, arch, initial, Options{Objective: MinimizeBuffers, Iterations: 60, Seed: 2})
+	one, err := RunRestarts(context.Background(), app, arch, initial, Options{Objective: MinimizeBuffers, Iterations: 60, Seed: 2})
 	if err != nil {
 		t.Fatal(err)
 	}
-	many, err := RunRestarts(app, arch, initial, Options{Objective: MinimizeBuffers, Iterations: 60, Seed: 2, Restarts: 4, Workers: 4})
+	many, err := RunRestarts(context.Background(), app, arch, initial, Options{Objective: MinimizeBuffers, Iterations: 60, Seed: 2, Restarts: 4, Workers: 4})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -8,6 +8,7 @@ package sa
 
 import (
 	"context"
+	"errors"
 	"math"
 	"math/rand"
 
@@ -51,6 +52,22 @@ type Options struct {
 	// Workers bounds the concurrently running chains (default 1 =
 	// serial). The best-ever result is identical for every value.
 	Workers int
+	// Pool, when non-nil, supplies the chain pool (typically a
+	// session-shared one) instead of a fresh engine.New(Workers).
+	Pool *engine.Pool
+	// OnProgress, when non-nil, receives one event per evaluated move.
+	// With several restart chains the callback runs concurrently and
+	// must be safe for concurrent use; Chain tells the events apart.
+	OnProgress func(Progress)
+}
+
+// Progress is one annealing progress event.
+type Progress struct {
+	Chain       int
+	Iteration   int
+	Evaluations int
+	Accepted    int
+	Best        *opt.Result
 }
 
 func (o *Options) defaults() {
@@ -109,7 +126,15 @@ func cost(obj Objective, r *opt.Result) float64 {
 
 // Run anneals from the given initial configuration. The initial
 // configuration must be normalized and valid.
-func Run(app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
+//
+// Cancelling ctx stops the chain at the next iteration: the returned
+// Result then carries the best-ever solution found so far, together
+// with ctx's error.
+func Run(ctx context.Context, app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
+	return runChain(ctx, app, arch, initial, opts, 0)
+}
+
+func runChain(ctx context.Context, app *model.Application, arch *model.Architecture, initial *core.Config, opts Options, chain int) (*Result, error) {
 	opts.defaults()
 	rng := rand.New(rand.NewSource(opts.Seed))
 	curA, err := core.Analyze(app, arch, initial)
@@ -121,6 +146,10 @@ func Run(app *model.Application, arch *model.Architecture, initial *core.Config,
 	res := &Result{Best: best, Evaluations: 1}
 	temp := opts.InitialTemp
 	for it := 0; it < opts.Iterations; it++ {
+		if ctx.Err() != nil {
+			res.Best = best
+			return res, ctx.Err()
+		}
 		moves := opt.GenerateMoves(app, arch, cur.Config, cur.Analysis, opt.MoveBudget{Max: opts.MoveBudget, Rand: rng})
 		if len(moves) == 0 {
 			break
@@ -150,6 +179,9 @@ func Run(app *model.Application, arch *model.Architecture, initial *core.Config,
 				temp = 1e-6
 			}
 		}
+		if opts.OnProgress != nil {
+			opts.OnProgress(Progress{Chain: chain, Iteration: it + 1, Evaluations: res.Evaluations, Accepted: res.Accepted, Best: best})
+		}
 	}
 	res.Best = best
 	return res, nil
@@ -161,58 +193,76 @@ func Run(app *model.Application, arch *model.Architecture, initial *core.Config,
 // result over all chains (ties broken by the lowest chain index, so the
 // outcome is deterministic for every worker count). Evaluations and
 // Accepted are summed over the chains.
-func RunRestarts(app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
+//
+// Cancelling ctx stops every chain at its next iteration; the returned
+// Result aggregates the chains' best-so-far solutions and carries
+// ctx's error (Best is nil only when no chain completed a single
+// analysis).
+func RunRestarts(ctx context.Context, app *model.Application, arch *model.Architecture, initial *core.Config, opts Options) (*Result, error) {
 	opts.defaults()
 	if opts.Restarts == 1 {
-		return Run(app, arch, initial, opts)
+		return Run(ctx, app, arch, initial, opts)
+	}
+	pool := opts.Pool
+	if pool == nil {
+		pool = engine.New(opts.Workers)
 	}
 	jobs := make([]func(context.Context) (*Result, error), opts.Restarts)
 	for i := range jobs {
+		i := i
 		chainOpts := opts
 		chainOpts.Seed = opts.Seed + int64(i)
 		chainOpts.Restarts, chainOpts.Workers = 1, 1
-		jobs[i] = func(context.Context) (*Result, error) {
-			return Run(app, arch, initial, chainOpts)
+		chainOpts.Pool = nil
+		jobs[i] = func(ctx context.Context) (*Result, error) {
+			return runChain(ctx, app, arch, initial, chainOpts, i)
 		}
 	}
-	chains, _ := engine.Sweep(context.Background(), engine.New(opts.Workers), jobs)
+	chains, _ := engine.Sweep(ctx, pool, jobs)
 	out := &Result{}
 	for _, c := range chains {
-		if c.Err != nil {
-			return nil, c.Err
-		}
 		r := c.Value
+		if c.Err != nil {
+			if ctx.Err() != nil && errors.Is(c.Err, ctx.Err()) {
+				if r == nil {
+					continue // chain never started
+				}
+				// Aggregate the chain's best-so-far below.
+			} else {
+				return nil, c.Err
+			}
+		}
 		out.Evaluations += r.Evaluations
 		out.Accepted += r.Accepted
 		if out.Best == nil || cost(opts.Objective, r.Best) < cost(opts.Objective, out.Best) {
 			out.Best = r.Best
 		}
 	}
-	return out, nil
+	return out, ctx.Err()
 }
 
 // RunSAS anneals for the degree of schedulability from the SF starting
 // point (the paper's SA Schedule baseline).
-func RunSAS(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+func RunSAS(ctx context.Context, app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
 	opts.Objective = MinimizeDelta
-	return runFromSF(app, arch, opts)
+	return runFromSF(ctx, app, arch, opts)
 }
 
 // RunSAR anneals for the total buffer need (the paper's SA Resources
 // baseline).
-func RunSAR(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+func RunSAR(ctx context.Context, app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
 	opts.Objective = MinimizeBuffers
-	return runFromSF(app, arch, opts)
+	return runFromSF(ctx, app, arch, opts)
 }
 
-func runFromSF(app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
+func runFromSF(ctx context.Context, app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
 	sf, err := opt.Straightforward(app, arch)
 	if err != nil {
 		return nil, err
 	}
-	res, err := RunRestarts(app, arch, sf.Config, opts)
+	res, err := RunRestarts(ctx, app, arch, sf.Config, opts)
 	if err != nil {
-		return nil, err
+		return res, err
 	}
 	res.Evaluations += sf.Analysis.Iterations
 	return res, nil

@@ -1,6 +1,7 @@
 package sa
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -42,7 +43,7 @@ func TestSASImprovesDelta(t *testing.T) {
 	if err != nil {
 		t.Fatalf("Straightforward: %v", err)
 	}
-	res, err := RunSAS(app, arch, Options{Iterations: 120, Seed: 3})
+	res, err := RunSAS(context.Background(), app, arch, Options{Iterations: 120, Seed: 3})
 	if err != nil {
 		t.Fatalf("RunSAS: %v", err)
 	}
@@ -63,7 +64,7 @@ func TestSARMinimizesBuffersKeepingSchedulability(t *testing.T) {
 		t.Fatalf("Generate: %v", err)
 	}
 	app, arch := sys.Application, sys.Architecture
-	res, err := RunSAR(app, arch, Options{Iterations: 80, Seed: 4})
+	res, err := RunSAR(context.Background(), app, arch, Options{Iterations: 80, Seed: 4})
 	if err != nil {
 		t.Fatalf("RunSAR: %v", err)
 	}
@@ -81,11 +82,11 @@ func TestSARMinimizesBuffersKeepingSchedulability(t *testing.T) {
 
 func TestDeterminismWithSeed(t *testing.T) {
 	app, arch := fig4(t)
-	a, err := RunSAS(app, arch, Options{Iterations: 60, Seed: 9})
+	a, err := RunSAS(context.Background(), app, arch, Options{Iterations: 60, Seed: 9})
 	if err != nil {
 		t.Fatalf("RunSAS: %v", err)
 	}
-	b, err := RunSAS(app, arch, Options{Iterations: 60, Seed: 9})
+	b, err := RunSAS(context.Background(), app, arch, Options{Iterations: 60, Seed: 9})
 	if err != nil {
 		t.Fatalf("RunSAS: %v", err)
 	}
@@ -135,7 +136,7 @@ func TestBestNeverWorseThanStart(t *testing.T) {
 		t.Fatalf("Straightforward: %v", err)
 	}
 	for _, obj := range []Objective{MinimizeDelta, MinimizeBuffers} {
-		res, err := Run(app, arch, sf.Config, Options{Objective: obj, Iterations: 50, Seed: 7})
+		res, err := Run(context.Background(), app, arch, sf.Config, Options{Objective: obj, Iterations: 50, Seed: 7})
 		if err != nil {
 			t.Fatalf("Run: %v", err)
 		}

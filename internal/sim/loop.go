@@ -8,9 +8,14 @@ import (
 	"repro/internal/model"
 )
 
-// loop drains the event queue.
+// loop drains the event queue. It returns early when the run's context
+// is cancelled, checking every few events so long horizons stay
+// responsive without paying a per-event context poll.
 func (s *simulator) loop() {
-	for s.events.Len() > 0 {
+	for n := 0; s.events.Len() > 0; n++ {
+		if n%256 == 0 && s.ctx != nil && s.ctx.Err() != nil {
+			return
+		}
 		e := heap.Pop(&s.events).(*event)
 		switch e.kind {
 		case evTTStart:

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/gen"
@@ -26,7 +27,7 @@ func TestAnalysisDominatesSimulationWithPins(t *testing.T) {
 			t.Fatalf("Generate: %v", err)
 		}
 		app, arch := sys.Application, sys.Architecture
-		orres, err := opt.OptimizeResources(app, arch, opt.OROptions{
+		orres, err := opt.OptimizeResources(context.Background(), app, arch, opt.OROptions{
 			MaxIterations: 12, NeighborBudget: 16, Seeds: 2,
 		})
 		if err != nil {

@@ -15,6 +15,7 @@ package sim
 
 import (
 	"container/heap"
+	"context"
 	"fmt"
 	"io"
 	"math/rand"
@@ -75,6 +76,13 @@ type Result struct {
 // Run simulates the configured system. The analysis provides the static
 // schedule (tables + MEDL); cfg provides priorities and the TDMA round.
 func Run(app *model.Application, arch *model.Architecture, cfg *core.Config, a *core.Analysis, opts Options) (*Result, error) {
+	return RunContext(context.Background(), app, arch, cfg, a, opts)
+}
+
+// RunContext is Run with cooperative cancellation: the event loop
+// checks ctx between events and returns ctx's error (and no result)
+// when it is cancelled.
+func RunContext(ctx context.Context, app *model.Application, arch *model.Architecture, cfg *core.Config, a *core.Analysis, opts Options) (*Result, error) {
 	if a == nil || a.Schedule == nil {
 		return nil, fmt.Errorf("sim: analysis with schedule required")
 	}
@@ -88,8 +96,12 @@ func Run(app *model.Application, arch *model.Architecture, cfg *core.Config, a *
 		opts.Seed = 1
 	}
 	s := newSim(app, arch, cfg, a, opts)
+	s.ctx = ctx
 	s.prime()
 	s.loop()
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	return s.finish(), nil
 }
 
@@ -100,6 +112,7 @@ type simulator struct {
 	an   *core.Analysis
 	opts Options
 	rng  *rand.Rand
+	ctx  context.Context
 
 	hyper   model.Time
 	horizon model.Time

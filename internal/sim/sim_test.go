@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"context"
 	"testing"
 
 	"repro/internal/core"
@@ -224,7 +225,7 @@ func TestAnalysisDominatesSimulationGenerated(t *testing.T) {
 			t.Fatalf("Generate: %v", err)
 		}
 		app, arch := sys.Application, sys.Architecture
-		osres, err := opt.OptimizeSchedule(app, arch, opt.OSOptions{HOPAIterations: 2, SlotCandidates: 2})
+		osres, err := opt.OptimizeSchedule(context.Background(), app, arch, opt.OSOptions{HOPAIterations: 2, SlotCandidates: 2})
 		if err != nil {
 			t.Fatalf("OptimizeSchedule: %v", err)
 		}

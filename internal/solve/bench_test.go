@@ -1,0 +1,94 @@
+package solve
+
+import (
+	"context"
+	"testing"
+
+	"repro/internal/core"
+)
+
+// The benchmarks below compare the cold-start path (a fresh Solver per
+// operation, deriving default configuration templates and slot
+// candidate sets from scratch) with the session path (one Solver
+// reused), for the analyze and synthesize entry points. CI collects
+// them into the BENCH_solver.json artifact.
+
+func benchSolver(b *testing.B) *Solver {
+	b.Helper()
+	app, arch := system(b, 1)
+	s, err := New(app, arch)
+	if err != nil {
+		b.Fatal(err)
+	}
+	return s
+}
+
+// BenchmarkSolverAnalyzeCold builds a fresh session per analysis.
+func BenchmarkSolverAnalyzeCold(b *testing.B) {
+	app, arch := system(b, 1)
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(app, arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.Analyze(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverAnalyzeCached reuses one session for every analysis.
+func BenchmarkSolverAnalyzeCached(b *testing.B) {
+	s := benchSolver(b)
+	cfg, err := s.normalizedBase()
+	if err != nil {
+		b.Fatal(err)
+	}
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Analyze(ctx, cfg); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverSynthesizeCold runs the OS heuristic on a fresh
+// session per call: every call re-derives the slot candidate sets and
+// the configuration templates.
+func BenchmarkSolverSynthesizeCold(b *testing.B) {
+	app, arch := system(b, 1)
+	ctx := context.Background()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(app, arch)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SynthesizeWith(ctx, OptimizeSchedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSolverSynthesizeCached runs the OS heuristic on one session:
+// from the second call on, the derived state comes from the caches.
+func BenchmarkSolverSynthesizeCached(b *testing.B) {
+	s := benchSolver(b)
+	ctx := context.Background()
+	if _, err := s.SynthesizeWith(ctx, OptimizeSchedule); err != nil {
+		b.Fatal(err) // warm the caches outside the timer
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.SynthesizeWith(ctx, OptimizeSchedule); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,44 @@
+package solve
+
+import "repro/internal/model"
+
+// Progress is one synthesis progress event. Events are emitted in step
+// order per phase; for the annealing strategies with several restart
+// chains, events of different chains interleave (Chain tells them
+// apart) but the stream as a whole is still delivered one event at a
+// time.
+type Progress struct {
+	// Strategy is the strategy being run.
+	Strategy Strategy
+	// Phase is the algorithm stage: "sf", "os" (slot search), "or"
+	// (hill climbing) or "sa" (annealing).
+	Phase string
+	// Chain is the annealing chain index (0 outside "sa").
+	Chain int
+	// Step is the per-phase step counter: the TDMA position for "os",
+	// the hill-climbing iteration for "or", the annealing iteration for
+	// "sa".
+	Step int
+	// Evaluations counts the schedulability analyses spent so far in
+	// this phase (per chain for "sa").
+	Evaluations int
+	// BestDelta, BestBuffers and Schedulable describe the incumbent
+	// solution (of the emitting chain for "sa").
+	BestDelta   model.Time
+	BestBuffers int
+	Schedulable bool
+}
+
+// Observer receives synthesis progress events. Implementations must be
+// fast — OnProgress is called synchronously from the optimizer's
+// reducing goroutine — and need not be goroutine-safe: the Solver
+// serializes delivery.
+type Observer interface {
+	OnProgress(Progress)
+}
+
+// ObserverFunc adapts a function to the Observer interface.
+type ObserverFunc func(Progress)
+
+// OnProgress implements Observer.
+func (f ObserverFunc) OnProgress(p Progress) { f(p) }

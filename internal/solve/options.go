@@ -1,0 +1,87 @@
+package solve
+
+import (
+	"repro/internal/opt"
+)
+
+// Options is the normalized configuration of a Solver. Zero values are
+// filled in by normalize — exactly once, in New — so every consumer
+// (heuristics, annealers, experiment sweeps) sees the same defaults
+// and the same nested worker counts.
+type Options struct {
+	// Strategy selects the algorithm run by Synthesize (default
+	// Straightforward).
+	Strategy Strategy
+	// Seed drives every randomized path: the annealing chains and the
+	// OR neighbourhood sampling (default 1).
+	Seed int64
+	// SAIterations bounds each annealing chain (default 300).
+	SAIterations int
+	// SARestarts is the number of independent annealing chains for the
+	// SAS/SAR strategies (default 1); the best-ever solution wins.
+	SARestarts int
+	// Workers bounds the solver's shared evaluation pool (default 1 =
+	// serial; results are identical for every value).
+	Workers int
+	// OR tunes the OptimizeSchedule/OptimizeResources heuristics.
+	// Unset nested worker counts and the unset RandSeed inherit the
+	// top-level Workers and Seed.
+	OR opt.OROptions
+	// Observer, when non-nil, receives progress events.
+	Observer Observer
+}
+
+// normalize fills defaults and resolves every nested option from the
+// top-level ones. It is the single place where worker counts and seeds
+// are forwarded; after it returns, Workers, OR.Workers and
+// OR.OS.Workers agree unless the caller explicitly set them apart.
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = 1
+	}
+	if o.Seed == 0 {
+		o.Seed = 1
+	}
+	if o.SAIterations <= 0 {
+		o.SAIterations = 300
+	}
+	if o.SARestarts <= 0 {
+		o.SARestarts = 1
+	}
+	if o.OR.Workers <= 0 {
+		o.OR.Workers = o.Workers
+	}
+	if o.OR.OS.Workers <= 0 {
+		o.OR.OS.Workers = o.OR.Workers
+	}
+	if o.OR.RandSeed == 0 {
+		o.OR.RandSeed = o.Seed
+	}
+}
+
+// Option mutates the Options of a Solver under construction.
+type Option func(*Options)
+
+// WithStrategy selects the algorithm run by Synthesize.
+func WithStrategy(s Strategy) Option { return func(o *Options) { o.Strategy = s } }
+
+// WithSeed seeds every randomized path (0 keeps the default of 1).
+func WithSeed(seed int64) Option { return func(o *Options) { o.Seed = seed } }
+
+// WithSAIterations bounds each annealing chain.
+func WithSAIterations(n int) Option { return func(o *Options) { o.SAIterations = n } }
+
+// WithSARestarts sets the number of independent annealing chains.
+func WithSARestarts(n int) Option { return func(o *Options) { o.SARestarts = n } }
+
+// WithWorkers bounds the solver's shared evaluation pool; the
+// synthesized configurations are identical for every value.
+func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
+
+// WithObserver streams progress events to obs.
+func WithObserver(obs Observer) Option { return func(o *Options) { o.Observer = obs } }
+
+// WithOROptions tunes the OS/OR heuristics (iteration caps, seed
+// limits, neighbour budgets). Unset nested worker counts still inherit
+// the top-level WithWorkers value.
+func WithOROptions(or opt.OROptions) Option { return func(o *Options) { o.OR = or } }

@@ -1,0 +1,338 @@
+// Package solve is the session layer of the reproduction: a Solver is
+// created once per (Application, Architecture) pair and owns everything
+// repeated operations want to share — the evaluation pool, the default
+// configuration templates and the per-node slot-length candidate sets —
+// so that interactive or iterated exploration (the ROADMAP's service
+// workload) stops re-deriving system invariants on every call.
+//
+// Every operation is context-first and cancellable at evaluation
+// granularity: a cancelled Synthesize returns the best configuration
+// found so far together with the context's error, so callers (the CLIs
+// wire SIGINT into this) never lose finished work. Progress flows to an
+// optional Observer as a serialized event stream.
+//
+// The root package repro re-exports this API; internal consumers
+// (package expt) use it directly.
+package solve
+
+import (
+	"context"
+	"fmt"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/engine"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/sa"
+	"repro/internal/sim"
+	"repro/internal/tsched"
+)
+
+// Result couples the configuration chosen by a synthesis run with its
+// analysis.
+type Result struct {
+	Config   *core.Config
+	Analysis *core.Analysis
+	// Evaluations counts the schedulability analyses performed.
+	Evaluations int
+}
+
+// Solver is a reusable synthesis session for one (application,
+// architecture) pair. It is safe for concurrent use; all methods are
+// deterministic per seed and worker-count independent.
+type Solver struct {
+	app  *model.Application
+	arch *model.Architecture
+	opts Options
+	pool *engine.Pool
+
+	mu       sync.Mutex
+	baseRaw  *core.Config // un-normalized DefaultConfig template
+	baseNorm *core.Config // normalized template (SF / SA starting point)
+	slotLens map[slotKey][]model.Time
+
+	obsMu sync.Mutex // serializes Observer delivery across SA chains
+}
+
+type slotKey struct {
+	owner model.NodeID
+	max   int
+}
+
+// New builds a Solver. Options normalize exactly here (worker counts,
+// seeds, iteration budgets); see Options.normalize.
+func New(app *model.Application, arch *model.Architecture, options ...Option) (*Solver, error) {
+	if app == nil || arch == nil {
+		return nil, fmt.Errorf("solve: nil application or architecture")
+	}
+	s := &Solver{app: app, arch: arch, slotLens: make(map[slotKey][]model.Time)}
+	for _, o := range options {
+		if o != nil {
+			o(&s.opts)
+		}
+	}
+	s.opts.normalize()
+	s.pool = engine.New(s.opts.Workers)
+	return s, nil
+}
+
+// Application returns the session's application.
+func (s *Solver) Application() *model.Application { return s.app }
+
+// Architecture returns the session's architecture.
+func (s *Solver) Architecture() *model.Architecture { return s.arch }
+
+// Options returns a copy of the solver's normalized options.
+func (s *Solver) Options() Options { return s.opts }
+
+// baseConfig returns a fresh clone of the cached un-normalized default
+// configuration (the OptimizeSchedule starting template).
+func (s *Solver) baseConfig() *core.Config {
+	s.mu.Lock()
+	if s.baseRaw == nil {
+		s.baseRaw = core.DefaultConfig(s.app, s.arch)
+	}
+	cfg := s.baseRaw.Clone()
+	s.mu.Unlock()
+	return cfg
+}
+
+// normalizedBase returns a fresh clone of the cached normalized default
+// configuration (the SF result shape and the annealers' start point).
+func (s *Solver) normalizedBase() (*core.Config, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.baseNorm == nil {
+		cfg := core.DefaultConfig(s.app, s.arch)
+		if err := cfg.Normalize(s.app); err != nil {
+			return nil, err
+		}
+		s.baseNorm = cfg
+	}
+	return s.baseNorm.Clone(), nil
+}
+
+// slotLengths is the cached tsched.RecommendedSlotLengths: the
+// candidate sets depend only on the application's traffic per owner, so
+// one derivation serves every OptimizeSchedule position and every
+// Synthesize call of the session.
+func (s *Solver) slotLengths(owner model.NodeID, max int) []model.Time {
+	k := slotKey{owner: owner, max: max}
+	s.mu.Lock()
+	lengths, ok := s.slotLens[k]
+	if !ok {
+		lengths = tsched.RecommendedSlotLengths(s.app, s.arch, owner, max)
+		s.slotLens[k] = lengths
+	}
+	s.mu.Unlock()
+	return lengths
+}
+
+// emit serializes an event to the observer, if any.
+func (s *Solver) emit(p Progress) {
+	obs := s.opts.Observer
+	if obs == nil {
+		return
+	}
+	s.obsMu.Lock()
+	obs.OnProgress(p)
+	s.obsMu.Unlock()
+}
+
+// observeOpt adapts the observer to the opt package's progress hook.
+func (s *Solver) observeOpt(strat Strategy) func(opt.Progress) {
+	if s.opts.Observer == nil {
+		return nil
+	}
+	return func(p opt.Progress) {
+		ev := Progress{Strategy: strat, Phase: p.Phase, Step: p.Step, Evaluations: p.Evaluations}
+		if p.Best != nil {
+			ev.BestDelta = p.Best.Delta()
+			ev.BestBuffers = p.Best.STotal()
+			ev.Schedulable = p.Best.Schedulable()
+		}
+		s.emit(ev)
+	}
+}
+
+// observeSA adapts the observer to the sa package's progress hook.
+func (s *Solver) observeSA(strat Strategy) func(sa.Progress) {
+	if s.opts.Observer == nil {
+		return nil
+	}
+	return func(p sa.Progress) {
+		ev := Progress{Strategy: strat, Phase: "sa", Chain: p.Chain, Step: p.Iteration, Evaluations: p.Evaluations}
+		if p.Best != nil {
+			ev.BestDelta = p.Best.Delta()
+			ev.BestBuffers = p.Best.STotal()
+			ev.Schedulable = p.Best.Schedulable()
+		}
+		s.emit(ev)
+	}
+}
+
+// hooks builds the opt instrumentation for one run: progress to the
+// observer, derived state from the session caches.
+func (s *Solver) hooks(strat Strategy) opt.Hooks {
+	return opt.Hooks{
+		OnProgress:  s.observeOpt(strat),
+		SlotLengths: s.slotLengths,
+		BaseConfig:  s.baseConfig,
+	}
+}
+
+// orOptions assembles the OR/OS options of one run from the session
+// options, the shared pool and the instrumentation hooks. The session
+// pool is injected only where the nested worker count matches the
+// session's, so an explicit per-optimizer override (WithOROptions with
+// Workers set) still bounds that optimizer's own pool.
+func (s *Solver) orOptions(strat Strategy) opt.OROptions {
+	o := s.opts.OR
+	o.Hooks = s.hooks(strat)
+	o.OS.Hooks = o.Hooks
+	if o.Workers == s.opts.Workers {
+		o.Pool = s.pool
+	}
+	if o.OS.Workers == s.opts.Workers {
+		o.OS.Pool = s.pool
+	}
+	return o
+}
+
+// Analyze runs the MultiClusterScheduling fixed point (Fig. 5) for one
+// configuration.
+func (s *Solver) Analyze(ctx context.Context, cfg *core.Config) (*core.Analysis, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	return core.Analyze(s.app, s.arch, cfg)
+}
+
+// AnalyzeAll analyzes a batch of independent candidate configurations
+// across the session pool, in input order (identical to analyzing them
+// serially); per-configuration failures are captured per item.
+func (s *Solver) AnalyzeAll(ctx context.Context, cfgs []*core.Config) ([]engine.Evaluation, error) {
+	return engine.EvaluateAll(ctx, s.pool, s.app, s.arch, cfgs)
+}
+
+// Simulate executes a configuration in the discrete-event simulator.
+// a may be nil, in which case the configuration is analyzed first (one
+// extra evaluation).
+func (s *Solver) Simulate(ctx context.Context, cfg *core.Config, a *core.Analysis, opts sim.Options) (*sim.Result, error) {
+	if a == nil {
+		var err error
+		if a, err = s.Analyze(ctx, cfg); err != nil {
+			return nil, err
+		}
+	}
+	return sim.RunContext(ctx, s.app, s.arch, cfg, a, opts)
+}
+
+// Straightforward evaluates the SF baseline from the cached template.
+func (s *Solver) Straightforward(ctx context.Context) (*opt.Result, error) {
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
+	cfg, err := s.normalizedBase()
+	if err != nil {
+		return nil, err
+	}
+	a, err := core.Analyze(s.app, s.arch, cfg)
+	if err != nil {
+		return nil, err
+	}
+	return &opt.Result{Config: cfg, Analysis: a}, nil
+}
+
+// OptimizeSchedule runs the Fig. 8 slot search with the session's
+// options, pool and caches, exposing the full internal result (seeds
+// included) for experiment sweeps.
+func (s *Solver) OptimizeSchedule(ctx context.Context) (*opt.OSResult, error) {
+	o := s.orOptions(OptimizeSchedule)
+	return opt.OptimizeSchedule(ctx, s.app, s.arch, o.OS)
+}
+
+// OptimizeResources runs the Fig. 7 two-step optimization with the
+// session's options, pool and caches, exposing the full internal
+// result (the OS sub-result included) for experiment sweeps.
+func (s *Solver) OptimizeResources(ctx context.Context) (*opt.ORResult, error) {
+	return opt.OptimizeResources(ctx, s.app, s.arch, s.orOptions(OptimizeResources))
+}
+
+// Anneal runs one simulated-annealing chain set from initial under the
+// session's options; seed 0 uses the session seed. Experiment sweeps
+// use this to build the paper's best-ever SA yardsticks.
+func (s *Solver) Anneal(ctx context.Context, obj sa.Objective, initial *core.Config, seed int64, strat Strategy) (*sa.Result, error) {
+	if seed == 0 {
+		seed = s.opts.Seed
+	}
+	return sa.RunRestarts(ctx, s.app, s.arch, initial, sa.Options{
+		Objective: obj, Iterations: s.opts.SAIterations, Seed: seed,
+		Restarts: s.opts.SARestarts, Workers: s.opts.Workers, Pool: s.pool,
+		OnProgress: s.observeSA(strat),
+	})
+}
+
+// Synthesize finds a system configuration with the session's configured
+// strategy. Cancelling ctx returns promptly — within one evaluation
+// granule — with the best configuration found so far (when one exists)
+// and the context's error.
+func (s *Solver) Synthesize(ctx context.Context) (*Result, error) {
+	return s.SynthesizeWith(ctx, s.opts.Strategy)
+}
+
+// SynthesizeWith is Synthesize with an explicit strategy, letting one
+// session compare algorithms without rebuilding its caches.
+func (s *Solver) SynthesizeWith(ctx context.Context, strat Strategy) (*Result, error) {
+	switch strat {
+	case Straightforward:
+		r, err := s.Straightforward(ctx)
+		if err != nil {
+			return nil, err
+		}
+		res := &Result{Config: r.Config, Analysis: r.Analysis, Evaluations: 1}
+		s.emit(Progress{Strategy: strat, Phase: "sf", Step: 1, Evaluations: 1,
+			BestDelta: r.Delta(), BestBuffers: r.STotal(), Schedulable: r.Schedulable()})
+		return res, nil
+
+	case OptimizeSchedule:
+		r, err := s.OptimizeSchedule(ctx)
+		if r == nil || r.Best == nil {
+			if err == nil {
+				err = fmt.Errorf("solve: OptimizeSchedule found no evaluable configuration")
+			}
+			return nil, err
+		}
+		return &Result{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, err
+
+	case OptimizeResources:
+		r, err := s.OptimizeResources(ctx)
+		if r == nil || r.Best == nil {
+			if err == nil {
+				err = fmt.Errorf("solve: OptimizeResources found no evaluable configuration")
+			}
+			return nil, err
+		}
+		return &Result{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, err
+
+	case SAS, SAR:
+		obj := sa.MinimizeDelta
+		if strat == SAR {
+			obj = sa.MinimizeBuffers
+		}
+		initial, err := s.normalizedBase()
+		if err != nil {
+			return nil, err
+		}
+		r, aerr := s.Anneal(ctx, obj, initial, s.opts.Seed, strat)
+		if r == nil || r.Best == nil {
+			if aerr == nil {
+				aerr = fmt.Errorf("solve: annealing found no evaluable configuration")
+			}
+			return nil, aerr
+		}
+		return &Result{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, aerr
+	}
+	return nil, fmt.Errorf("repro: unknown strategy %v", strat)
+}

@@ -1,0 +1,67 @@
+package solve
+
+import (
+	"fmt"
+	"strings"
+)
+
+// Strategy selects a synthesis algorithm.
+type Strategy int
+
+const (
+	// Straightforward is the SF baseline: ascending slot order, minimal
+	// slot lengths, declaration-order priorities.
+	Straightforward Strategy = iota
+	// OptimizeSchedule is the greedy OS heuristic maximizing the degree
+	// of schedulability (Fig. 8).
+	OptimizeSchedule
+	// OptimizeResources is OS followed by the OR hill climber
+	// minimizing the total buffer need (Fig. 7).
+	OptimizeResources
+	// SAS is the simulated-annealing baseline for the degree of
+	// schedulability.
+	SAS
+	// SAR is the simulated-annealing baseline for the buffer need.
+	SAR
+)
+
+// Strategies lists every synthesis strategy, in declaration order.
+func Strategies() []Strategy {
+	return []Strategy{Straightforward, OptimizeSchedule, OptimizeResources, SAS, SAR}
+}
+
+// String names the strategy like the paper. ParseStrategy accepts the
+// result, so String and ParseStrategy round-trip for every strategy.
+func (s Strategy) String() string {
+	switch s {
+	case Straightforward:
+		return "SF"
+	case OptimizeSchedule:
+		return "OS"
+	case OptimizeResources:
+		return "OR"
+	case SAS:
+		return "SAS"
+	case SAR:
+		return "SAR"
+	}
+	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// ParseStrategy maps the paper's algorithm names (sf, os, or, sas, sar;
+// case-insensitive) to a Strategy.
+func ParseStrategy(name string) (Strategy, error) {
+	switch strings.ToLower(name) {
+	case "sf", "straightforward":
+		return Straightforward, nil
+	case "os", "optimize-schedule":
+		return OptimizeSchedule, nil
+	case "or", "optimize-resources":
+		return OptimizeResources, nil
+	case "sas":
+		return SAS, nil
+	case "sar":
+		return SAR, nil
+	}
+	return 0, fmt.Errorf("repro: unknown strategy %q (want sf, os, or, sas or sar)", name)
+}

@@ -10,23 +10,27 @@
 // (fixed-priority preemptive scheduling over a CAN bus), interconnected
 // by a gateway whose queues are sized by the analysis.
 //
-// This root package is the public facade. The typical flow:
+// This root package is the public facade. The typical flow creates one
+// Solver session per system and runs context-first operations on it:
 //
 //	sys, _ := repro.Generate(repro.GenSpec{Seed: 1, TTNodes: 2, ETNodes: 2})
-//	res, _ := repro.Synthesize(sys.Application, sys.Architecture, repro.SynthesisOptions{
-//	    Strategy: repro.StrategyOptimizeResources,
-//	})
+//	solver, _ := repro.NewSolver(sys.Application, sys.Architecture,
+//	    repro.WithStrategy(repro.StrategyOptimizeResources))
+//	res, _ := solver.Synthesize(ctx)
 //	fmt.Println(res.Analysis.Schedulable, res.Analysis.Buffers.Total)
 //
+// The pre-Solver free functions (Analyze, AnalyzeAll, Synthesize,
+// Simulate) remain as thin deprecated wrappers; see solver.go and
+// docs/ARCHITECTURE.md for the migration table.
+//
 // The heavy lifting lives in the internal packages (model, ttp, can,
-// rta, gateway, tsched, core, engine, hopa, opt, sa, gen, sim, cruise,
-// expt); see docs/ARCHITECTURE.md for the package map and README.md
-// for the tool guide.
+// rta, gateway, tsched, core, engine, solve, hopa, opt, sa, gen, sim,
+// cruise, expt); see docs/ARCHITECTURE.md for the package map and
+// README.md for the tool guide.
 package repro
 
 import (
 	"context"
-	"fmt"
 	"io"
 
 	"repro/internal/core"
@@ -35,8 +39,8 @@ import (
 	"repro/internal/gen"
 	"repro/internal/model"
 	"repro/internal/opt"
-	"repro/internal/sa"
 	"repro/internal/sim"
+	"repro/internal/solve"
 )
 
 // Re-exported model types: see package model for the full documentation.
@@ -121,6 +125,10 @@ func LoadConfig(r io.Reader, app *Application, arch *Architecture) (*Config, err
 // Analyze runs the MultiClusterScheduling fixed point (Fig. 5 of the
 // paper) for one configuration: static TTC schedule, ETC response
 // times, gateway queuing delays and buffer bounds.
+//
+// Deprecated: use Solver.Analyze, which is context-aware and shares
+// the session's derived state across calls. This wrapper remains for
+// one-shot use and existing callers.
 func Analyze(app *Application, arch *Architecture, cfg *Config) (*Analysis, error) {
 	return core.Analyze(app, arch, cfg)
 }
@@ -135,6 +143,9 @@ type Evaluation = engine.Evaluation
 // workers <= 0 selects runtime.NumCPU(); per-configuration failures are
 // captured in Evaluation.Err rather than failing the batch. The context
 // cancels the remaining work.
+//
+// Deprecated: use Solver.AnalyzeAll, which reuses the session's shared
+// pool instead of building one per call.
 func AnalyzeAll(ctx context.Context, app *Application, arch *Architecture, cfgs []*Config, workers int) ([]Evaluation, error) {
 	return engine.EvaluateAll(ctx, engine.New(workers), app, arch, cfgs)
 }
@@ -142,77 +153,43 @@ func AnalyzeAll(ctx context.Context, app *Application, arch *Architecture, cfgs 
 // Simulate executes the configured system in the discrete-event
 // simulator and reports observed response times, queue peaks and any
 // platform-invariant violations.
+//
+// Deprecated: use Solver.Simulate, which is context-aware.
 func Simulate(app *Application, arch *Architecture, cfg *Config, a *Analysis, opts SimOptions) (*SimResult, error) {
 	return sim.Run(app, arch, cfg, a, opts)
 }
 
 // Strategy selects a synthesis algorithm.
-type Strategy int
+type Strategy = solve.Strategy
 
 const (
 	// StrategyStraightforward is the SF baseline: ascending slot order,
 	// minimal slot lengths, declaration-order priorities.
-	StrategyStraightforward Strategy = iota
+	StrategyStraightforward = solve.Straightforward
 	// StrategyOptimizeSchedule is the greedy OS heuristic maximizing the
 	// degree of schedulability (Fig. 8).
-	StrategyOptimizeSchedule
+	StrategyOptimizeSchedule = solve.OptimizeSchedule
 	// StrategyOptimizeResources is OS followed by the OR hill climber
 	// minimizing the total buffer need (Fig. 7).
-	StrategyOptimizeResources
+	StrategyOptimizeResources = solve.OptimizeResources
 	// StrategySAS is the simulated-annealing baseline for the degree of
 	// schedulability.
-	StrategySAS
+	StrategySAS = solve.SAS
 	// StrategySAR is the simulated-annealing baseline for the buffer
 	// need.
-	StrategySAR
+	StrategySAR = solve.SAR
 )
 
-// String names the strategy like the paper.
-func (s Strategy) String() string {
-	switch s {
-	case StrategyStraightforward:
-		return "SF"
-	case StrategyOptimizeSchedule:
-		return "OS"
-	case StrategyOptimizeResources:
-		return "OR"
-	case StrategySAS:
-		return "SAS"
-	case StrategySAR:
-		return "SAR"
-	}
-	return fmt.Sprintf("Strategy(%d)", int(s))
-}
+// Strategies lists every synthesis strategy, in declaration order.
+func Strategies() []Strategy { return solve.Strategies() }
 
 // ParseStrategy maps the paper's algorithm names (sf, os, or, sas, sar;
-// case-insensitive ASCII) to a Strategy.
-func ParseStrategy(name string) (Strategy, error) {
-	switch lower(name) {
-	case "sf", "straightforward":
-		return StrategyStraightforward, nil
-	case "os", "optimize-schedule":
-		return StrategyOptimizeSchedule, nil
-	case "or", "optimize-resources":
-		return StrategyOptimizeResources, nil
-	case "sas":
-		return StrategySAS, nil
-	case "sar":
-		return StrategySAR, nil
-	}
-	return 0, fmt.Errorf("repro: unknown strategy %q (want sf, os, or, sas or sar)", name)
-}
+// case-insensitive) to a Strategy. It round-trips with
+// Strategy.String for every strategy.
+func ParseStrategy(name string) (Strategy, error) { return solve.ParseStrategy(name) }
 
-func lower(s string) string {
-	b := []byte(s)
-	for i := range b {
-		if b[i] >= 'A' && b[i] <= 'Z' {
-			b[i] += 'a' - 'A'
-		}
-	}
-	return string(b)
-}
-
-// SynthesisOptions tunes Synthesize.
+// SynthesisOptions tunes the deprecated Synthesize wrapper. New code
+// passes the equivalent functional options to NewSolver.
 type SynthesisOptions struct {
 	Strategy Strategy
 	// SAIterations bounds the annealing strategies (default 300).
@@ -231,64 +208,36 @@ type SynthesisOptions struct {
 	SARestarts int
 }
 
-// SynthesisResult couples the chosen configuration with its analysis.
-type SynthesisResult struct {
-	Config   *Config
-	Analysis *Analysis
-	// Evaluations counts the schedulability analyses performed.
-	Evaluations int
+// solverOptions converts the legacy struct to functional options; all
+// defaulting and nested forwarding happens in NewSolver.
+func (o SynthesisOptions) solverOptions() []Option {
+	return []Option{
+		WithStrategy(o.Strategy),
+		WithSeed(o.Seed),
+		WithSAIterations(o.SAIterations),
+		WithSARestarts(o.SARestarts),
+		WithWorkers(o.Workers),
+		WithOROptions(o.OR),
+	}
 }
 
+// SynthesisResult couples the chosen configuration with its analysis.
+type SynthesisResult = solve.Result
+
 // Synthesize finds a system configuration with the selected strategy.
+//
+// Deprecated: use NewSolver and Solver.Synthesize, which add
+// cancellation, progress streaming and cross-call caching. This
+// wrapper builds a one-shot Solver, so its results are bit-identical
+// to the session API's. One deliberate behavioral change from the
+// pre-Solver facade: Seed now feeds every randomized path, so an
+// explicit non-default Seed also seeds the OptimizeResources
+// neighbourhood rng (which previously stayed at its internal default
+// of 1 unless OR.RandSeed was set); default-seed runs are unchanged.
 func Synthesize(app *Application, arch *Architecture, opts SynthesisOptions) (*SynthesisResult, error) {
-	if opts.Workers > 0 {
-		if opts.OR.Workers <= 0 {
-			opts.OR.Workers = opts.Workers
-		}
-		if opts.OR.OS.Workers <= 0 {
-			opts.OR.OS.Workers = opts.Workers
-		}
+	solver, err := NewSolver(app, arch, opts.solverOptions()...)
+	if err != nil {
+		return nil, err
 	}
-	switch opts.Strategy {
-	case StrategyStraightforward:
-		r, err := opt.Straightforward(app, arch)
-		if err != nil {
-			return nil, err
-		}
-		return &SynthesisResult{Config: r.Config, Analysis: r.Analysis, Evaluations: 1}, nil
-	case StrategyOptimizeSchedule:
-		r, err := opt.OptimizeSchedule(app, arch, opts.OR.OS)
-		if err != nil {
-			return nil, err
-		}
-		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
-	case StrategyOptimizeResources:
-		r, err := opt.OptimizeResources(app, arch, opts.OR)
-		if err != nil {
-			return nil, err
-		}
-		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
-	case StrategySAS, StrategySAR:
-		obj := sa.MinimizeDelta
-		if opts.Strategy == StrategySAR {
-			obj = sa.MinimizeBuffers
-		}
-		seed := opts.Seed
-		if seed == 0 {
-			seed = 1
-		}
-		sf, err := opt.Straightforward(app, arch)
-		if err != nil {
-			return nil, err
-		}
-		r, err := sa.RunRestarts(app, arch, sf.Config, sa.Options{
-			Objective: obj, Iterations: opts.SAIterations, Seed: seed,
-			Restarts: opts.SARestarts, Workers: opts.Workers,
-		})
-		if err != nil {
-			return nil, err
-		}
-		return &SynthesisResult{Config: r.Best.Config, Analysis: r.Best.Analysis, Evaluations: r.Evaluations}, nil
-	}
-	return nil, fmt.Errorf("repro: unknown strategy %v", opts.Strategy)
+	return solver.Synthesize(context.Background())
 }

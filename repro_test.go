@@ -1,7 +1,9 @@
 package repro
 
 import (
+	"context"
 	"path/filepath"
+	"reflect"
 	"testing"
 )
 
@@ -69,9 +71,70 @@ func TestParseStrategy(t *testing.T) {
 	if _, err := ParseStrategy("nope"); err == nil {
 		t.Error("invalid strategy accepted")
 	}
-	for _, s := range []Strategy{StrategyStraightforward, StrategyOptimizeSchedule, StrategyOptimizeResources, StrategySAS, StrategySAR, Strategy(42)} {
-		if s.String() == "" {
-			t.Errorf("empty name for %d", int(s))
+	// String and ParseStrategy round-trip over every strategy.
+	for _, s := range Strategies() {
+		got, err := ParseStrategy(s.String())
+		if err != nil || got != s {
+			t.Errorf("round trip: ParseStrategy(%q) = %v, %v; want %v", s.String(), got, err, s)
+		}
+	}
+	if Strategy(42).String() == "" {
+		t.Error("empty name for out-of-range strategy")
+	}
+}
+
+// TestSolverMatchesDeprecatedSynthesize pins the compatibility contract
+// of the deprecated wrapper: for every strategy, the one-shot free
+// function and a reused Solver session return bit-identical results.
+func TestSolverMatchesDeprecatedSynthesize(t *testing.T) {
+	sys, err := Generate(GenSpec{Seed: 2, TTNodes: 1, ETNodes: 1, ProcsPerNode: 6, ProcsPerGraph: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	app, arch := sys.Application, sys.Architecture
+	solver, err := NewSolver(app, arch, WithSAIterations(30))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	ctx := context.Background()
+	for _, s := range Strategies() {
+		want, err := Synthesize(app, arch, SynthesisOptions{Strategy: s, SAIterations: 30})
+		if err != nil {
+			t.Fatalf("Synthesize(%v): %v", s, err)
+		}
+		got, err := solver.SynthesizeWith(ctx, s)
+		if err != nil {
+			t.Fatalf("Solver.SynthesizeWith(%v): %v", s, err)
+		}
+		if !reflect.DeepEqual(got.Config, want.Config) || got.Evaluations != want.Evaluations {
+			t.Errorf("%v: Solver result differs from the deprecated wrapper", s)
+		}
+	}
+}
+
+// TestSolverObserverFacade exercises the WithObserver stream through
+// the facade aliases.
+func TestSolverObserverFacade(t *testing.T) {
+	sys, err := Generate(GenSpec{Seed: 2, TTNodes: 1, ETNodes: 1, ProcsPerNode: 6, ProcsPerGraph: 6})
+	if err != nil {
+		t.Fatalf("Generate: %v", err)
+	}
+	var events []Progress
+	solver, err := NewSolver(sys.Application, sys.Architecture,
+		WithStrategy(StrategyOptimizeSchedule),
+		WithObserver(ObserverFunc(func(p Progress) { events = append(events, p) })))
+	if err != nil {
+		t.Fatalf("NewSolver: %v", err)
+	}
+	if _, err := solver.Synthesize(context.Background()); err != nil {
+		t.Fatalf("Synthesize: %v", err)
+	}
+	if len(events) == 0 {
+		t.Fatal("no progress events reached the facade observer")
+	}
+	for _, e := range events {
+		if e.Phase != "os" {
+			t.Errorf("unexpected phase %q for the OS strategy", e.Phase)
 		}
 	}
 }

@@ -1,0 +1,50 @@
+#!/usr/bin/env python3
+"""Convert `go test -bench` output into a JSON benchmark artifact.
+
+Reads benchmark output on stdin, writes JSON to the file named by the
+first argument. Benchmarks named *Cold/*Cached are paired into a
+comparison section so the artifact directly answers "what does the
+cached Solver session buy over cold starts".
+"""
+import json
+import re
+import sys
+
+BENCH = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op")
+
+
+def main() -> int:
+    out = sys.argv[1] if len(sys.argv) > 1 else "BENCH_solver.json"
+    results = {}
+    for line in sys.stdin:
+        m = BENCH.match(line)
+        if m:
+            results[m.group(1)] = {
+                "iterations": int(m.group(2)),
+                "ns_per_op": float(m.group(3)),
+            }
+    comparisons = {}
+    for name, cold in results.items():
+        if not name.endswith("Cold"):
+            continue
+        cached = results.get(name[: -len("Cold")] + "Cached")
+        if not cached:
+            continue
+        comparisons[name[len("Benchmark"):-len("Cold")]] = {
+            "cold_ns_per_op": cold["ns_per_op"],
+            "cached_ns_per_op": cached["ns_per_op"],
+            "speedup": round(cold["ns_per_op"] / cached["ns_per_op"], 3)
+            if cached["ns_per_op"]
+            else None,
+        }
+    with open(out, "w") as f:
+        json.dump(
+            {"benchmarks": results, "cold_vs_cached": comparisons}, f, indent=2
+        )
+        f.write("\n")
+    print(f"wrote {out}: {len(results)} benchmarks, {len(comparisons)} comparisons")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())
