@@ -8,27 +8,39 @@ import (
 	"repro"
 )
 
-// TestAnalyzeAllMatchesAnalyze checks the facade's batch entry point:
-// evaluations come back in input order and equal one-at-a-time Analyze
-// calls, for serial and parallel pools alike.
-func TestAnalyzeAllMatchesAnalyze(t *testing.T) {
+// batchSystem builds the shared fixture of the batch tests: a small
+// system plus a handful of normalized slot-length variants.
+func batchSystem(t *testing.T) (*repro.System, []*repro.Config) {
+	t.Helper()
 	sys, err := repro.Generate(repro.GenSpec{Seed: 5, TTNodes: 1, ETNodes: 1, ProcsPerNode: 6})
 	if err != nil {
 		t.Fatal(err)
 	}
-	app, arch := sys.Application, sys.Architecture
-	base := repro.DefaultConfig(app, arch)
+	base := repro.DefaultConfig(sys.Application, sys.Architecture)
 	var cfgs []*repro.Config
 	for i := 0; i < 6; i++ {
 		cfg := base.Clone()
 		cfg.Round.Slots[i%len(cfg.Round.Slots)].Length += int64(4 * i)
-		if err := cfg.Normalize(app); err != nil {
+		if err := cfg.Normalize(sys.Application); err != nil {
 			t.Fatal(err)
 		}
 		cfgs = append(cfgs, cfg)
 	}
+	return sys, cfgs
+}
+
+// TestSolverAnalyzeAllMatchesAnalyze checks the session batch entry
+// point: evaluations come back in input order and equal one-at-a-time
+// Analyze calls, for serial and parallel pools alike.
+func TestSolverAnalyzeAllMatchesAnalyze(t *testing.T) {
+	sys, cfgs := batchSystem(t)
+	ctx := context.Background()
 	for _, workers := range []int{1, 4} {
-		evals, err := repro.AnalyzeAll(context.Background(), app, arch, cfgs, workers)
+		solver, err := repro.NewSolver(sys.Application, sys.Architecture, repro.WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		evals, err := solver.AnalyzeAll(ctx, cfgs)
 		if err != nil {
 			t.Fatalf("workers=%d: %v", workers, err)
 		}
@@ -36,7 +48,7 @@ func TestAnalyzeAllMatchesAnalyze(t *testing.T) {
 			t.Fatalf("workers=%d: %d evaluations for %d configs", workers, len(evals), len(cfgs))
 		}
 		for i, cfg := range cfgs {
-			want, err := repro.Analyze(app, arch, cfg)
+			want, err := solver.Analyze(ctx, cfg)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -46,6 +58,39 @@ func TestAnalyzeAllMatchesAnalyze(t *testing.T) {
 			if !reflect.DeepEqual(evals[i].Analysis, want) {
 				t.Errorf("workers=%d cfg %d: batch analysis differs from Analyze", workers, i)
 			}
+		}
+	}
+}
+
+// TestDeprecatedBatchWrappersBitIdentical is the regression keeping the
+// deprecated free functions honest: repro.Analyze and repro.AnalyzeAll
+// must stay bit-identical to the Solver session API they wrap.
+func TestDeprecatedBatchWrappersBitIdentical(t *testing.T) {
+	sys, cfgs := batchSystem(t)
+	app, arch := sys.Application, sys.Architecture
+	ctx := context.Background()
+	solver, err := repro.NewSolver(app, arch, repro.WithWorkers(4))
+	if err != nil {
+		t.Fatal(err)
+	}
+	want, err := solver.AnalyzeAll(ctx, cfgs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := repro.AnalyzeAll(ctx, app, arch, cfgs, 4)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("deprecated AnalyzeAll differs from Solver.AnalyzeAll")
+	}
+	for i, cfg := range cfgs {
+		single, err := repro.Analyze(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(single, want[i].Analysis) {
+			t.Errorf("cfg %d: deprecated Analyze differs from the session analysis", i)
 		}
 	}
 }

@@ -6,6 +6,7 @@
 //
 //	mcs-gen -nodes 4 -seed 7 -o app.json
 //	mcs-gen -nodes 4 -inter 30 -o fig9c.json     # fixed gateway traffic
+//	mcs-gen -nodes 4 -cpu-util 0.4 -bus-util 0.6 # asymmetric load targets
 package main
 
 import (
@@ -22,7 +23,9 @@ func main() {
 		seed    = flag.Int64("seed", 1, "generator seed (deterministic)")
 		perNode = flag.Int("procs-per-node", 40, "processes per node (the paper uses 40)")
 		inter   = flag.Int("inter", 0, "force this many inter-cluster messages (0 = natural)")
-		util    = flag.Float64("util", 0, "CPU and bus utilization target (0 = default 0.2)")
+		util    = flag.Float64("util", 0, "shorthand setting both -cpu-util and -bus-util (0 = per-target defaults)")
+		cpuUtil = flag.Float64("cpu-util", 0, "per-node CPU utilization target (0 = -util, else default 0.2)")
+		busUtil = flag.Float64("bus-util", 0, "CAN bus utilization target (0 = -util, else default 0.2)")
 		exp     = flag.Bool("exponential", false, "draw WCETs from an exponential distribution instead of uniform")
 		out     = flag.String("o", "", "output file (default stdout)")
 	)
@@ -30,14 +33,22 @@ func main() {
 	if *nodes < 2 || *nodes%2 != 0 {
 		fatal(fmt.Errorf("-nodes must be even and >= 2, got %d", *nodes))
 	}
+	// The explicit per-target flags win over the -util shorthand;
+	// gen.Spec carries the two targets independently.
+	if *cpuUtil == 0 {
+		*cpuUtil = *util
+	}
+	if *busUtil == 0 {
+		*busUtil = *util
+	}
 	spec := repro.GenSpec{
 		Seed:             *seed,
 		TTNodes:          *nodes / 2,
 		ETNodes:          *nodes / 2,
 		ProcsPerNode:     *perNode,
 		InterClusterMsgs: *inter,
-		CPUUtil:          *util,
-		BusUtil:          *util,
+		CPUUtil:          *cpuUtil,
+		BusUtil:          *busUtil,
 	}
 	if *exp {
 		spec.WCETDist = 1 // gen.Exponential

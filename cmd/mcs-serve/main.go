@@ -1,0 +1,90 @@
+// Command mcs-serve runs the multi-cluster synthesis service over HTTP:
+// asynchronous synthesize jobs with polling and SSE progress streams,
+// synchronous batch analysis, and an LRU of cached Solver sessions
+// keyed by the canonical system fingerprint.
+//
+//	POST   /v1/synthesize       submit a job (202 + job id)
+//	GET    /v1/jobs/{id}        poll status/result
+//	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
+//	DELETE /v1/jobs/{id}        cancel, keeping the best-so-far result
+//	POST   /v1/analyze          synchronous batch analysis
+//	GET    /healthz             liveness + job/cache statistics
+//
+// SIGTERM/SIGINT drain gracefully: intake stops, in-flight jobs get
+// -grace to finish, stragglers are canceled and report their
+// best-so-far configurations, and the process exits 0.
+//
+// Example:
+//
+//	mcs-serve -addr :8080 -workers 8 &
+//	mcs-gen -nodes 2 -seed 7 | jq '{system: ., strategy: "or"}' \
+//	  | curl -s -d @- localhost:8080/v1/synthesize
+package main
+
+import (
+	"context"
+	"errors"
+	"flag"
+	"fmt"
+	"log"
+	"net/http"
+	"os"
+	"os/signal"
+	"runtime"
+	"syscall"
+	"time"
+
+	"repro"
+)
+
+func main() {
+	var (
+		addr       = flag.String("addr", ":8080", "listen address")
+		workers    = flag.Int("workers", runtime.NumCPU(), "evaluation workers per job (results are identical for every value)")
+		jobWorkers = flag.Int("job-workers", 2, "jobs synthesized concurrently")
+		queue      = flag.Int("queue", 64, "job queue depth (beyond it submits are rejected with 429)")
+		cacheSize  = flag.Int("cache", 128, "cached Solver sessions (LRU)")
+		retention  = flag.Int("retention", 1024, "terminal jobs kept pollable (oldest-finished evicted first)")
+		grace      = flag.Duration("grace", 15*time.Second, "drain grace period before in-flight jobs are canceled to best-so-far")
+	)
+	flag.Parse()
+
+	svc := repro.NewService(repro.ServiceOptions{
+		Workers:    *workers,
+		JobWorkers: *jobWorkers,
+		QueueDepth: *queue,
+		CacheSize:  *cacheSize,
+		Retention:  *retention,
+	})
+	srv := &http.Server{Addr: *addr, Handler: repro.NewServiceHandler(svc)}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	errc := make(chan error, 1)
+	go func() {
+		log.Printf("mcs-serve: listening on %s (job workers %d, queue %d, cache %d)",
+			*addr, *jobWorkers, *queue, *cacheSize)
+		errc <- srv.ListenAndServe()
+	}()
+
+	select {
+	case err := <-errc:
+		fatal(err)
+	case <-ctx.Done():
+	}
+
+	log.Printf("mcs-serve: draining (grace %s)", *grace)
+	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
+	defer cancel()
+	svc.Drain(drainCtx) // in-flight jobs finish or keep best-so-far
+	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
+		srv.Close()
+	}
+	log.Printf("mcs-serve: drained, exiting")
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "mcs-serve:", err)
+	os.Exit(1)
+}

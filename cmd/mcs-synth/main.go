@@ -80,6 +80,10 @@ func main() {
 	res, err := solver.Synthesize(ctx)
 	interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
 	if err != nil && !interrupted {
+		if errors.Is(err, context.Canceled) {
+			fmt.Fprintln(os.Stderr, "mcs-synth: interrupted before any configuration was evaluated")
+			os.Exit(130)
+		}
 		fatal(err)
 	}
 	if interrupted {

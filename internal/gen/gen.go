@@ -69,7 +69,7 @@ type Spec struct {
 	// loads hopeless for every heuristic, see EXPERIMENTS.md).
 	CPUUtil float64
 	// BusUtil is the CAN bus utilization target used to derive the bit
-	// time (default 0.35).
+	// time (default 0.2, matching CPUUtil).
 	BusUtil float64
 	// InterClusterMsgs forces the number of messages crossing the
 	// gateway (0 keeps the natural count of the random mapping).

@@ -1,0 +1,82 @@
+package model
+
+import (
+	"crypto/sha256"
+	"encoding/binary"
+	"encoding/hex"
+	"fmt"
+	"hash"
+)
+
+// Fingerprint returns a canonical content hash of the system: a
+// lowercase hex SHA-256 over every field the analysis and synthesis
+// read, in a fixed field order. Two systems hash equally if and only if
+// they are semantically interchangeable:
+//
+//   - Names (application, graph, process, edge, node names) are
+//     excluded — they only decorate reports and error messages, so
+//     renaming never changes the hash.
+//   - Declaration order is included — process and edge IDs are indices,
+//     and the default configuration assigns priorities in declaration
+//     order, so reordering declarations genuinely changes the
+//     synthesized system.
+//
+// The hash is stable across JSON round trips (SaveFile/LoadFile) and
+// across processes; the service layer keys its Solver cache on it.
+func (s *System) Fingerprint() (string, error) {
+	if s == nil || s.Application == nil || s.Architecture == nil {
+		return "", fmt.Errorf("model: fingerprint needs both application and architecture")
+	}
+	h := sha256.New()
+	w := fpWriter{h: h}
+
+	arch := s.Architecture
+	w.str("arch")
+	w.num(int64(len(arch.Nodes)))
+	for _, n := range arch.Nodes {
+		w.num(int64(n.ID), int64(n.Kind))
+	}
+	w.num(int64(arch.Gateway), arch.TTP.TickPerByte, arch.CAN.BitTime, arch.GatewayCost, arch.GatewayPoll)
+
+	app := s.Application
+	w.str("graphs")
+	w.num(int64(len(app.Graphs)))
+	for _, g := range app.Graphs {
+		w.num(g.Period, g.Deadline, int64(len(g.Procs)))
+		for _, p := range g.Procs {
+			w.num(int64(p))
+		}
+		w.num(int64(len(g.Edges)))
+		for _, e := range g.Edges {
+			w.num(int64(e))
+		}
+	}
+	w.str("procs")
+	w.num(int64(len(app.Procs)))
+	for _, p := range app.Procs {
+		w.num(int64(p.ID), int64(p.Graph), p.WCET, p.BCET, int64(p.Node), p.Deadline)
+	}
+	w.str("edges")
+	w.num(int64(len(app.Edges)))
+	for _, e := range app.Edges {
+		w.num(int64(e.ID), int64(e.Graph), int64(e.Src), int64(e.Dst), int64(e.Size), e.CANTime)
+	}
+	return hex.EncodeToString(h.Sum(nil)), nil
+}
+
+// fpWriter streams length-prefixed primitives into the hash so that
+// adjacent variable-length sections can never collide.
+type fpWriter struct{ h hash.Hash }
+
+func (w fpWriter) num(vs ...int64) {
+	var buf [8]byte
+	for _, v := range vs {
+		binary.LittleEndian.PutUint64(buf[:], uint64(v))
+		w.h.Write(buf[:])
+	}
+}
+
+func (w fpWriter) str(s string) {
+	w.num(int64(len(s)))
+	w.h.Write([]byte(s))
+}

@@ -1,0 +1,108 @@
+package model
+
+import (
+	"math/rand"
+	"path/filepath"
+	"testing"
+)
+
+// buildSystem constructs a small randomized two-cluster system. The
+// name parameter decorates every entity so tests can build rename-only
+// variants; perm gives the process declaration order inside each graph.
+func buildSystem(t *testing.T, rng *rand.Rand, name string, swapDecl bool) *System {
+	t.Helper()
+	arch, err := NewTwoClusterArchitecture(ArchSpec{Name: name + "-arch", TTNodes: 1, ETNodes: 1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	app := NewApplication(name + "-app")
+	g := app.AddGraph(name+"-g0", 1000, 900)
+	wcetA := Time(10 + rng.Intn(40))
+	wcetB := Time(10 + rng.Intn(40))
+	nodeTT := arch.TTNodes()[0]
+	nodeET := arch.ETNodes()[0]
+	var a, b ProcID
+	if swapDecl {
+		b = app.AddProcess(g, name+"-b", wcetB, nodeET)
+		a = app.AddProcess(g, name+"-a", wcetA, nodeTT)
+	} else {
+		a = app.AddProcess(g, name+"-a", wcetA, nodeTT)
+		b = app.AddProcess(g, name+"-b", wcetB, nodeET)
+	}
+	app.AddEdge(name+"-e", a, b, 8+rng.Intn(8))
+	if err := app.Finalize(arch); err != nil {
+		t.Fatal(err)
+	}
+	return &System{Architecture: arch, Application: app}
+}
+
+// TestFingerprintRoundTripStable is the property test of the service
+// cache key: for randomized systems, Fingerprint is deterministic and
+// survives a SaveFile -> LoadFile round trip unchanged.
+func TestFingerprintRoundTripStable(t *testing.T) {
+	dir := t.TempDir()
+	for seed := int64(0); seed < 20; seed++ {
+		rng := rand.New(rand.NewSource(seed))
+		sys := buildSystem(t, rng, "s", false)
+		fp1, err := sys.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp2, err := sys.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp2 {
+			t.Fatalf("seed %d: fingerprint not deterministic: %s vs %s", seed, fp1, fp2)
+		}
+		path := filepath.Join(dir, "sys.json")
+		if err := sys.SaveFile(path); err != nil {
+			t.Fatal(err)
+		}
+		loaded, err := LoadFile(path)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fp3, err := loaded.Fingerprint()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if fp1 != fp3 {
+			t.Fatalf("seed %d: fingerprint changed across JSON round trip: %s vs %s", seed, fp1, fp3)
+		}
+	}
+}
+
+// TestFingerprintSemantics pins the "hashes differ only when semantics
+// differ" contract: renaming every entity keeps the hash, while
+// reordering declarations (which renumbers IDs and default priorities)
+// or touching a WCET changes it.
+func TestFingerprintSemantics(t *testing.T) {
+	for seed := int64(0); seed < 20; seed++ {
+		base := buildSystem(t, rand.New(rand.NewSource(seed)), "x", false)
+		renamed := buildSystem(t, rand.New(rand.NewSource(seed)), "completely-different", false)
+		reordered := buildSystem(t, rand.New(rand.NewSource(seed)), "x", true)
+
+		fpBase := mustFP(t, base)
+		if got := mustFP(t, renamed); got != fpBase {
+			t.Errorf("seed %d: rename-only variant changed the fingerprint", seed)
+		}
+		if got := mustFP(t, reordered); got == fpBase {
+			t.Errorf("seed %d: declaration reorder (different IDs/priorities) kept the fingerprint", seed)
+		}
+
+		base.Application.Procs[0].WCET++
+		if got := mustFP(t, base); got == fpBase {
+			t.Errorf("seed %d: WCET change kept the fingerprint", seed)
+		}
+	}
+}
+
+func mustFP(t *testing.T, s *System) string {
+	t.Helper()
+	fp, err := s.Fingerprint()
+	if err != nil {
+		t.Fatal(err)
+	}
+	return fp
+}

@@ -419,7 +419,7 @@ func OptimizeResources(ctx context.Context, app *model.Application, arch *model.
 	if osres.Best == nil || !osres.Best.Schedulable() {
 		// The paper's step 1 failure path ("modify mapping and/or
 		// architecture") is outside our scope: report best effort.
-		return out, nil
+		return out, ctx.Err()
 	}
 	rng := rand.New(rand.NewSource(opts.RandSeed))
 	pool := opts.Pool
@@ -482,5 +482,9 @@ func OptimizeResources(ctx context.Context, app *model.Application, arch *model.
 		}
 	}
 	out.Best = best
-	return out, nil
+	// A cancellation that lands while a neighbourhood batch is being
+	// scored truncates the scan ("no improving neighbour" is then
+	// unprovable), so a cancelled climb always reports ctx's error with
+	// its best-so-far rather than posing as a completed run.
+	return out, ctx.Err()
 }

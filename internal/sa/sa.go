@@ -261,9 +261,11 @@ func runFromSF(ctx context.Context, app *model.Application, arch *model.Architec
 		return nil, err
 	}
 	res, err := RunRestarts(ctx, app, arch, sf.Config, opts)
-	if err != nil {
-		return res, err
+	if res != nil {
+		// Count the SF starting analysis even when the anneal was
+		// canceled, so partial and completed runs report comparable
+		// evaluation totals.
+		res.Evaluations += sf.Analysis.Iterations
 	}
-	res.Evaluations += sf.Analysis.Iterations
-	return res, nil
+	return res, err
 }

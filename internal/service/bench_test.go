@@ -1,0 +1,77 @@
+package service
+
+import (
+	"context"
+	"testing"
+)
+
+// benchRequest builds one deterministic synthesis request.
+func benchRequest(b *testing.B) SynthesisRequest {
+	return SynthesisRequest{System: testSystem(b, 2), Strategy: "or", Seed: 7}
+}
+
+func runJob(b *testing.B, s *Service, req SynthesisRequest) {
+	b.Helper()
+	resp, err := s.Submit(req)
+	if err != nil {
+		b.Fatal(err)
+	}
+	done, err := s.Done(resp.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	<-done
+	st, err := s.Status(resp.ID)
+	if err != nil {
+		b.Fatal(err)
+	}
+	if st.State != StateDone {
+		b.Fatalf("job state %s (error %q)", st.State, st.Error)
+	}
+}
+
+// BenchmarkServiceSynthesizeCold measures end-to-end job latency
+// against a cold cache: every iteration runs on a fresh Service.
+func BenchmarkServiceSynthesizeCold(b *testing.B) {
+	req := benchRequest(b)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := New(Options{Workers: 1, JobWorkers: 1})
+		runJob(b, s, req)
+		b.StopTimer()
+		s.Close()
+		b.StartTimer()
+	}
+}
+
+// BenchmarkServiceSynthesizeCached measures the same job against a warm
+// Solver cache; benchjson.py pairs it with the Cold variant into the
+// cold-vs-cached comparison of BENCH_service.json.
+func BenchmarkServiceSynthesizeCached(b *testing.B) {
+	s := New(Options{Workers: 1, JobWorkers: 1})
+	defer s.Close()
+	runJob(b, s, benchRequest(b)) // warm the cache
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		runJob(b, s, benchRequest(b))
+	}
+}
+
+// BenchmarkServiceAnalyzeRequests measures synchronous analyze
+// throughput on a warm session; benchjson.py converts ns/op into
+// requests/sec in the artifact.
+func BenchmarkServiceAnalyzeRequests(b *testing.B) {
+	s := New(Options{Workers: 1, JobWorkers: 1})
+	defer s.Close()
+	ctx := context.Background()
+	req := AnalysisRequest{System: testSystem(b, 2)}
+	if _, err := s.Analyze(ctx, req); err != nil {
+		b.Fatal(err)
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, err := s.Analyze(ctx, req); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,535 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"errors"
+	"fmt"
+	"runtime"
+	"sync"
+
+	"repro/internal/core"
+	"repro/internal/solve"
+)
+
+// Errors returned by Submit.
+var (
+	// ErrQueueFull rejects a submit when the bounded job queue is at
+	// capacity; clients retry with backoff (HTTP 429).
+	ErrQueueFull = errors.New("service: job queue full")
+	// ErrDraining rejects a submit during shutdown (HTTP 503).
+	ErrDraining = errors.New("service: draining, not accepting jobs")
+	// ErrUnknownJob reports a job ID the service has never issued.
+	ErrUnknownJob = errors.New("service: unknown job")
+)
+
+// errDrainCanceled is the cancel cause handed to in-flight jobs when
+// the drain grace period expires; they return best-so-far results.
+var errDrainCanceled = errors.New("service: drain grace period expired")
+
+// Options tunes a Service. Zero values select the documented defaults.
+type Options struct {
+	// Workers bounds each Solver's evaluation pool (default
+	// runtime.NumCPU()). Results are identical for every value.
+	Workers int
+	// JobWorkers is the number of jobs synthesized concurrently
+	// (default 2).
+	JobWorkers int
+	// QueueDepth bounds the backlog of accepted-but-not-running jobs
+	// (default 64); Submit returns ErrQueueFull beyond it.
+	QueueDepth int
+	// CacheSize bounds the Solver LRU (default 128 sessions).
+	CacheSize int
+	// Retention bounds how many terminal jobs stay pollable (default
+	// 1024): beyond it the oldest-finished jobs are forgotten, so a
+	// long-lived daemon's memory is bounded by its configuration, not
+	// by its traffic history.
+	Retention int
+}
+
+func (o *Options) normalize() {
+	if o.Workers <= 0 {
+		o.Workers = runtime.NumCPU()
+	}
+	if o.JobWorkers <= 0 {
+		o.JobWorkers = 2
+	}
+	if o.QueueDepth <= 0 {
+		o.QueueDepth = 64
+	}
+	if o.CacheSize <= 0 {
+		o.CacheSize = 128
+	}
+	if o.Retention <= 0 {
+		o.Retention = 1024
+	}
+}
+
+// Service owns the job queue, the runner goroutines and the Solver
+// cache. Create one with New, serve it over HTTP with NewHandler, stop
+// it with Drain (graceful) or Close (immediate best-so-far).
+type Service struct {
+	opts    Options
+	cache   *solverCache
+	queue   chan *job
+	runners sync.WaitGroup
+
+	baseCtx    context.Context
+	cancelBase context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	terminal []string // finished job IDs, oldest first, for retention
+	nextID   int
+	draining bool
+}
+
+// New starts a Service: JobWorkers runner goroutines draw from the
+// bounded queue until Drain/Close.
+func New(opts Options) *Service {
+	opts.normalize()
+	ctx, cancel := context.WithCancel(context.Background())
+	s := &Service{
+		opts:       opts,
+		cache:      newSolverCache(opts.CacheSize),
+		queue:      make(chan *job, opts.QueueDepth),
+		baseCtx:    ctx,
+		cancelBase: cancel,
+		jobs:       make(map[string]*job),
+	}
+	s.runners.Add(opts.JobWorkers)
+	for i := 0; i < opts.JobWorkers; i++ {
+		go func() {
+			defer s.runners.Done()
+			for j := range s.queue {
+				s.run(j)
+			}
+		}()
+	}
+	return s
+}
+
+// job is the service-side state of one synthesis request.
+type job struct {
+	id          string
+	req         SynthesisRequest
+	strategy    solve.Strategy
+	fingerprint string
+
+	ctx    context.Context
+	cancel context.CancelCauseFunc
+
+	mu       sync.Mutex
+	state    JobState
+	errMsg   string
+	events   []ProgressEvent
+	subs     map[chan ProgressEvent]struct{}
+	result   *JobResult
+	progress *ProgressEvent
+	done     chan struct{}
+}
+
+// Submit validates and enqueues an asynchronous synthesis job. The
+// request's system is finalized in place; the job is rejected when the
+// service is draining or the queue is full.
+func (s *Service) Submit(req SynthesisRequest) (*SubmitResponse, error) {
+	strat, fp, err := req.normalize()
+	if err != nil {
+		return nil, err
+	}
+	j := &job{
+		req:         req,
+		strategy:    strat,
+		fingerprint: fp,
+		state:       StateQueued,
+		subs:        make(map[chan ProgressEvent]struct{}),
+		done:        make(chan struct{}),
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining {
+		return nil, ErrDraining
+	}
+	s.nextID++
+	j.id = fmt.Sprintf("j%06d-%s", s.nextID, fp[:8])
+	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
+	select {
+	case s.queue <- j:
+	default:
+		j.cancel(ErrQueueFull) // release the context before rejecting
+		return nil, ErrQueueFull
+	}
+	s.jobs[j.id] = j
+	return &SubmitResponse{
+		ID:          j.id,
+		Fingerprint: fp,
+		StatusURL:   "/v1/jobs/" + j.id,
+		EventsURL:   "/v1/jobs/" + j.id + "/events",
+	}, nil
+}
+
+// run executes one job on a cached (or freshly built) Solver session.
+func (s *Service) run(j *job) {
+	j.mu.Lock()
+	if j.state != StateQueued { // canceled while queued
+		j.mu.Unlock()
+		return
+	}
+	j.state = StateRunning
+	j.mu.Unlock()
+
+	base, hit, err := s.cache.getOrCreate(j.fingerprint, func() (*solve.Solver, error) {
+		return solve.New(j.req.System.Application, j.req.System.Architecture,
+			solve.WithWorkers(s.opts.Workers))
+	})
+	if err != nil {
+		j.finish(nil, err, false)
+		s.retire(j)
+		return
+	}
+	// One base session per system serves every option variant: Derive
+	// re-normalizes the request options from scratch while sharing the
+	// seed-independent caches, so a whole seed/strategy sweep over one
+	// system rides a single cache entry.
+	session := base.Derive(append(j.req.solverOptions(j.strategy, s.opts.Workers),
+		solve.WithObserver(solve.ObserverFunc(func(p solve.Progress) { j.publish(p) })))...)
+	res, err := session.Synthesize(j.ctx)
+	j.finish(res, err, hit)
+	s.retire(j)
+}
+
+// retire frees a terminal job's request payload (the decoded system is
+// the bulk of its footprint; the Solver cache keeps its own reference)
+// and evicts the oldest-finished jobs beyond the retention bound.
+func (s *Service) retire(j *job) {
+	j.mu.Lock()
+	j.req = SynthesisRequest{}
+	j.mu.Unlock()
+	s.mu.Lock()
+	s.terminal = append(s.terminal, j.id)
+	for len(s.terminal) > s.opts.Retention {
+		delete(s.jobs, s.terminal[0])
+		s.terminal = s.terminal[1:]
+	}
+	s.mu.Unlock()
+}
+
+// publish fans a progress event out to the job's subscribers. Sends are
+// non-blocking: a slow subscriber misses events (the Seq field reveals
+// the gap) rather than stalling the synthesis.
+func (j *job) publish(p solve.Progress) {
+	ev := ProgressEvent{
+		Strategy:    p.Strategy.String(),
+		Phase:       p.Phase,
+		Chain:       p.Chain,
+		Step:        p.Step,
+		Evaluations: p.Evaluations,
+		BestDelta:   p.BestDelta,
+		BestBuffers: p.BestBuffers,
+		Schedulable: p.Schedulable,
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	ev.Seq = len(j.events) + 1
+	j.events = append(j.events, ev)
+	j.progress = &ev
+	for ch := range j.subs {
+		select {
+		case ch <- ev:
+		default:
+		}
+	}
+}
+
+// finish records the terminal state of a job and releases its
+// subscribers and context.
+func (j *job) finish(res *solve.Result, err error, cacheHit bool) {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.state.Terminal() {
+		return
+	}
+	if res != nil && res.Config != nil {
+		cfgJSON, encErr := encodeConfig(res.Config)
+		if encErr != nil && err == nil {
+			err = encErr
+		}
+		j.result = &JobResult{
+			Config:      cfgJSON,
+			Analysis:    summarize(res.Analysis),
+			Evaluations: res.Evaluations,
+			CacheHit:    cacheHit,
+			Partial:     err != nil,
+		}
+	}
+	switch {
+	case err == nil:
+		j.state = StateDone
+	case errors.Is(err, context.Canceled):
+		// Only genuine cancellations (client cancel or drain) land
+		// here; a real failure racing the drain deadline stays failed.
+		j.state = StateCanceled
+		j.errMsg = cancelMessage(j.ctx, err)
+	default:
+		j.state = StateFailed
+		j.errMsg = err.Error()
+	}
+	for ch := range j.subs {
+		close(ch)
+	}
+	j.subs = make(map[chan ProgressEvent]struct{})
+	close(j.done)
+	j.cancel(nil)
+}
+
+// cancelMessage prefers the cancellation cause (client cancel vs drain)
+// over the bare context error.
+func cancelMessage(ctx context.Context, err error) string {
+	if cause := context.Cause(ctx); cause != nil && !errors.Is(cause, context.Canceled) {
+		return cause.Error()
+	}
+	return err.Error()
+}
+
+// Status returns the polling view of a job.
+func (s *Service) Status(id string) (*JobStatus, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	st := &JobStatus{
+		ID:          j.id,
+		State:       j.state,
+		Fingerprint: j.fingerprint,
+		Strategy:    j.strategy.String(),
+		Progress:    j.progress,
+		Result:      j.result,
+		Error:       j.errMsg,
+	}
+	return st, nil
+}
+
+// Subscribe returns a channel of the job's progress events: the history
+// so far is replayed first, live events follow, and the channel closes
+// when the job reaches a terminal state. The returned cancel function
+// detaches the subscriber early.
+func (s *Service) Subscribe(id string) (<-chan ProgressEvent, func(), error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, nil, err
+	}
+	j.mu.Lock()
+	// Size for the whole history plus a live tail; live sends beyond
+	// the buffer are dropped, not blocked on.
+	ch := make(chan ProgressEvent, len(j.events)+256)
+	for _, ev := range j.events {
+		ch <- ev
+	}
+	if j.state.Terminal() {
+		close(ch)
+		j.mu.Unlock()
+		return ch, func() {}, nil
+	}
+	j.subs[ch] = struct{}{}
+	j.mu.Unlock()
+
+	unsubscribe := func() {
+		j.mu.Lock()
+		if _, live := j.subs[ch]; live {
+			delete(j.subs, ch)
+			close(ch)
+		}
+		j.mu.Unlock()
+	}
+	return ch, unsubscribe, nil
+}
+
+// Done returns a channel closed when the job reaches a terminal state.
+func (s *Service) Done(id string) (<-chan struct{}, error) {
+	j, err := s.job(id)
+	if err != nil {
+		return nil, err
+	}
+	return j.done, nil
+}
+
+// Cancel cancels a job: queued jobs terminate immediately, running jobs
+// stop at the next evaluation granule and keep their best-so-far
+// configuration.
+func (s *Service) Cancel(id string) error {
+	j, err := s.job(id)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	if j.state == StateQueued {
+		j.state = StateCanceled
+		j.errMsg = "canceled before running"
+		for ch := range j.subs {
+			close(ch)
+		}
+		j.subs = make(map[chan ProgressEvent]struct{})
+		close(j.done)
+		j.mu.Unlock()
+		j.cancel(nil)
+		s.retire(j) // the runner skips terminal jobs, so retire here
+		return nil
+	}
+	j.mu.Unlock()
+	j.cancel(context.Canceled)
+	return nil
+}
+
+func (s *Service) job(id string) (*job, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	j, ok := s.jobs[id]
+	if !ok {
+		return nil, fmt.Errorf("%w: %q", ErrUnknownJob, id)
+	}
+	return j, nil
+}
+
+// Analyze runs a synchronous batch analysis on a cached Solver session.
+// Per-configuration decode and analysis failures land in the matching
+// outcome; the call fails only for an invalid system or a canceled ctx.
+func (s *Service) Analyze(ctx context.Context, req AnalysisRequest) (*AnalysisResponse, error) {
+	sreq := SynthesisRequest{System: req.System}
+	_, fp, err := sreq.normalize()
+	if err != nil {
+		return nil, err
+	}
+	solver, hit, err := s.cache.getOrCreate(fp, func() (*solve.Solver, error) {
+		return solve.New(req.System.Application, req.System.Architecture, solve.WithWorkers(s.opts.Workers))
+	})
+	if err != nil {
+		return nil, err
+	}
+	app, arch := solver.Application(), solver.Architecture()
+
+	resp := &AnalysisResponse{Fingerprint: fp, CacheHit: hit}
+	if len(req.Configs) == 0 {
+		r, err := solver.Straightforward(ctx)
+		if err != nil {
+			return nil, err
+		}
+		resp.Results = []AnalysisOutcome{{Analysis: summarize(r.Analysis)}}
+		return resp, nil
+	}
+
+	resp.Results = make([]AnalysisOutcome, len(req.Configs))
+	var cfgs []*core.Config
+	var idx []int
+	for i, raw := range req.Configs {
+		cfg, err := core.LoadConfig(bytes.NewReader(raw), app, arch)
+		if err != nil {
+			resp.Results[i].Error = err.Error()
+			continue
+		}
+		cfgs = append(cfgs, cfg)
+		idx = append(idx, i)
+	}
+	evals, err := solver.AnalyzeAll(ctx, cfgs)
+	if err != nil {
+		return nil, err
+	}
+	for k, ev := range evals {
+		if ev.Err != nil {
+			resp.Results[idx[k]].Error = ev.Err.Error()
+			continue
+		}
+		resp.Results[idx[k]].Analysis = summarize(ev.Analysis)
+	}
+	return resp, nil
+}
+
+// Drain gracefully shuts the service down: intake stops (Submit returns
+// ErrDraining), queued and running jobs are given until ctx expires to
+// finish, then the stragglers are canceled so they terminate with their
+// best-so-far configurations. Drain returns once every runner has
+// exited; it is safe to call more than once.
+func (s *Service) Drain(ctx context.Context) {
+	s.mu.Lock()
+	first := !s.draining
+	s.draining = true
+	if first {
+		close(s.queue) // Submit sends under s.mu with draining false, so this cannot race
+	}
+	s.mu.Unlock()
+
+	finished := make(chan struct{})
+	go func() {
+		s.runners.Wait()
+		close(finished)
+	}()
+	select {
+	case <-finished:
+	case <-ctx.Done():
+		s.cancelJobs(errDrainCanceled)
+		<-finished
+	}
+	if first {
+		s.cancelJobs(errDrainCanceled) // flush jobs canceled while queued
+		s.cancelBase()
+	}
+}
+
+// cancelJobs cancels every non-terminal job with the given cause.
+func (s *Service) cancelJobs(cause error) {
+	s.mu.Lock()
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		terminal := j.state.Terminal()
+		j.mu.Unlock()
+		if !terminal {
+			j.cancel(cause)
+		}
+	}
+}
+
+// Close shuts down immediately: like Drain with an expired grace
+// period, so in-flight jobs return best-so-far results.
+func (s *Service) Close() {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	s.Drain(ctx)
+}
+
+// Stats is a point-in-time snapshot for health endpoints.
+type Stats struct {
+	Jobs        map[JobState]int `json:"jobs"`
+	CacheHits   int              `json:"cacheHits"`
+	CacheMisses int              `json:"cacheMisses"`
+	CacheSize   int              `json:"cacheSize"`
+	Draining    bool             `json:"draining"`
+}
+
+// Stats snapshots the job and cache counters.
+func (s *Service) Stats() Stats {
+	st := Stats{Jobs: make(map[JobState]int)}
+	st.CacheHits, st.CacheMisses, st.CacheSize = s.cache.stats()
+	s.mu.Lock()
+	st.Draining = s.draining
+	jobs := make([]*job, 0, len(s.jobs))
+	for _, j := range s.jobs {
+		jobs = append(jobs, j)
+	}
+	s.mu.Unlock()
+	for _, j := range jobs {
+		j.mu.Lock()
+		st.Jobs[j.state]++
+		j.mu.Unlock()
+	}
+	return st
+}

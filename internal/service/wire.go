@@ -1,0 +1,211 @@
+package service
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/solve"
+)
+
+// SynthesisRequest asks the service to synthesize a configuration for
+// one system. System uses the same JSON encoding as SaveSystem/mcs-gen,
+// so a generated system file can be pasted into the request verbatim.
+// The remaining fields mirror the Solver options; zero values select
+// the Solver defaults (strategy "sf", seed 1, 300 annealing iterations,
+// 1 restart chain).
+type SynthesisRequest struct {
+	System *model.System `json:"system"`
+	// Strategy is the paper's algorithm name: sf, os, or, sas or sar
+	// (case-insensitive; empty selects sf, the straightforward
+	// baseline).
+	Strategy     string `json:"strategy,omitempty"`
+	Seed         int64  `json:"seed,omitempty"`
+	SAIterations int    `json:"saIterations,omitempty"`
+	SARestarts   int    `json:"saRestarts,omitempty"`
+}
+
+// normalize validates the request, finalizes the embedded system (JSON
+// decoding bypasses the model builders) and resolves the strategy and
+// cache fingerprint.
+func (r *SynthesisRequest) normalize() (solve.Strategy, string, error) {
+	if r.System == nil || r.System.Application == nil || r.System.Architecture == nil {
+		return 0, "", fmt.Errorf("service: request must carry a system with both application and architecture")
+	}
+	strat := solve.Straightforward
+	if r.Strategy != "" {
+		var err error
+		if strat, err = solve.ParseStrategy(r.Strategy); err != nil {
+			return 0, "", err
+		}
+	}
+	if err := r.System.Application.Finalize(r.System.Architecture); err != nil {
+		return 0, "", err
+	}
+	fp, err := r.System.Fingerprint()
+	if err != nil {
+		return 0, "", err
+	}
+	return strat, fp, nil
+}
+
+// solverOptions maps the request onto the session API's functional
+// options; solve.New normalizes the zero values.
+func (r *SynthesisRequest) solverOptions(strat solve.Strategy, workers int) []solve.Option {
+	return []solve.Option{
+		solve.WithStrategy(strat),
+		solve.WithSeed(r.Seed),
+		solve.WithSAIterations(r.SAIterations),
+		solve.WithSARestarts(r.SARestarts),
+		solve.WithWorkers(workers),
+	}
+}
+
+// AnalysisRequest asks for a synchronous batch schedulability analysis:
+// every configuration (core.Config.Save encoding) is analyzed against
+// the system; an empty batch analyzes the system's default (SF)
+// configuration.
+type AnalysisRequest struct {
+	System  *model.System     `json:"system"`
+	Configs []json.RawMessage `json:"configs,omitempty"`
+}
+
+// AnalysisOutcome is the per-configuration result of an analysis batch:
+// exactly one of Analysis and Error is set.
+type AnalysisOutcome struct {
+	Analysis *AnalysisSummary `json:"analysis,omitempty"`
+	Error    string           `json:"error,omitempty"`
+}
+
+// AnalysisResponse answers an AnalysisRequest, in request order.
+type AnalysisResponse struct {
+	Fingerprint string            `json:"fingerprint"`
+	CacheHit    bool              `json:"cacheHit"`
+	Results     []AnalysisOutcome `json:"results"`
+}
+
+// AnalysisSummary is the wire form of a schedulability analysis: the
+// verdict, the optimization objectives and the per-graph worst-case
+// responses (full per-process detail stays in-process; see
+// core.Analysis).
+type AnalysisSummary struct {
+	Schedulable bool `json:"schedulable"`
+	// Delta is the degree of schedulability delta_Gamma (§5 of the
+	// paper): positive = sum of deadline overruns, negative = aggregate
+	// slack.
+	Delta model.Time `json:"delta"`
+	// BuffersTotal is s_total, the total buffer need the OR strategy
+	// minimizes; OutCAN/OutTTP break out the shared gateway queues.
+	BuffersTotal   int          `json:"buffersTotal"`
+	OutCAN         int          `json:"outCAN"`
+	OutTTP         int          `json:"outTTP"`
+	GraphResponses []model.Time `json:"graphResponses"`
+	Iterations     int          `json:"iterations"`
+	Converged      bool         `json:"converged"`
+}
+
+// summarize projects an analysis onto its wire form.
+func summarize(a *core.Analysis) *AnalysisSummary {
+	if a == nil {
+		return nil
+	}
+	return &AnalysisSummary{
+		Schedulable:    a.Schedulable,
+		Delta:          a.Delta,
+		BuffersTotal:   a.Buffers.Total,
+		OutCAN:         a.Buffers.OutCAN,
+		OutTTP:         a.Buffers.OutTTP,
+		GraphResponses: append([]model.Time(nil), a.GraphResp...),
+		Iterations:     a.Iterations,
+		Converged:      a.Converged,
+	}
+}
+
+// JobState is the lifecycle of an asynchronous synthesis job.
+type JobState string
+
+const (
+	// StateQueued: accepted, waiting for a job runner.
+	StateQueued JobState = "queued"
+	// StateRunning: a runner is synthesizing.
+	StateRunning JobState = "running"
+	// StateDone: finished; Result carries the configuration.
+	StateDone JobState = "done"
+	// StateCanceled: canceled (client or drain); Result carries the
+	// best-so-far configuration when one was found.
+	StateCanceled JobState = "canceled"
+	// StateFailed: the synthesis errored before producing anything.
+	StateFailed JobState = "failed"
+)
+
+// Terminal reports whether the state is final.
+func (s JobState) Terminal() bool {
+	return s == StateDone || s == StateCanceled || s == StateFailed
+}
+
+// JobStatus is the polling view of a job.
+type JobStatus struct {
+	ID          string   `json:"id"`
+	State       JobState `json:"state"`
+	Fingerprint string   `json:"fingerprint"`
+	Strategy    string   `json:"strategy"`
+	// Progress is the most recent progress event (nil before the first).
+	Progress *ProgressEvent `json:"progress,omitempty"`
+	// Result is set once State is terminal (absent for failed jobs and
+	// for cancellations that found nothing).
+	Result *JobResult `json:"result,omitempty"`
+	// Error is set when the job failed or was canceled.
+	Error string `json:"error,omitempty"`
+}
+
+// JobResult is the outcome of a synthesis job. Config uses the
+// core.Config.Save encoding, so it feeds back into mcs-synth -config
+// and LoadConfig unchanged.
+type JobResult struct {
+	Config      json.RawMessage  `json:"config,omitempty"`
+	Analysis    *AnalysisSummary `json:"analysis,omitempty"`
+	Evaluations int              `json:"evaluations"`
+	// CacheHit reports that the job ran on a cached Solver session; the
+	// configuration is bit-identical to a cold run either way.
+	CacheHit bool `json:"cacheHit"`
+	// Partial marks a best-so-far configuration returned by a canceled
+	// or drained job.
+	Partial bool `json:"partial,omitempty"`
+}
+
+// ProgressEvent is the wire form of a Solver progress event, tagged
+// with a per-job sequence number so SSE consumers can detect gaps
+// (slow subscribers are dropped-to, never blocked on).
+type ProgressEvent struct {
+	Seq         int    `json:"seq"`
+	Strategy    string `json:"strategy"`
+	Phase       string `json:"phase"`
+	Chain       int    `json:"chain,omitempty"`
+	Step        int    `json:"step"`
+	Evaluations int    `json:"evaluations"`
+	BestDelta   int64  `json:"bestDelta"`
+	BestBuffers int    `json:"bestBuffers"`
+	Schedulable bool   `json:"schedulable"`
+}
+
+// SubmitResponse acknowledges an accepted synthesis job.
+type SubmitResponse struct {
+	ID          string `json:"id"`
+	Fingerprint string `json:"fingerprint"`
+	StatusURL   string `json:"statusUrl"`
+	EventsURL   string `json:"eventsUrl"`
+}
+
+// encodeConfig renders a configuration in the stable Save encoding.
+func encodeConfig(cfg *core.Config) (json.RawMessage, error) {
+	if cfg == nil {
+		return nil, nil
+	}
+	var buf bytes.Buffer
+	if err := cfg.Save(&buf); err != nil {
+		return nil, err
+	}
+	return json.RawMessage(buf.Bytes()), nil
+}

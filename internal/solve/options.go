@@ -31,11 +31,13 @@ type Options struct {
 	Observer Observer
 }
 
-// normalize fills defaults and resolves every nested option from the
-// top-level ones. It is the single place where worker counts and seeds
-// are forwarded; after it returns, Workers, OR.Workers and
-// OR.OS.Workers agree unless the caller explicitly set them apart.
-func (o *Options) normalize() {
+// Normalize fills defaults and resolves every nested option from the
+// top-level ones. New calls it, so constructed Solvers always see
+// normalized options; the service layer also calls it directly to
+// derive canonical cache keys from request fields. After it returns,
+// Workers, OR.Workers and OR.OS.Workers agree unless the caller
+// explicitly set them apart.
+func (o *Options) Normalize() {
 	if o.Workers <= 0 {
 		o.Workers = 1
 	}

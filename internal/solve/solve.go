@@ -47,12 +47,21 @@ type Solver struct {
 	opts Options
 	pool *engine.Pool
 
+	// cache holds the per-system derived state; derived sessions
+	// (Observed) share it, so the expensive templates are computed once
+	// per system no matter how many observers fan out.
+	cache *sysCache
+
+	obsMu *sync.Mutex // serializes Observer delivery across SA chains
+}
+
+// sysCache is the seed-independent derived state of one system, shared
+// by a Solver and every session derived from it.
+type sysCache struct {
 	mu       sync.Mutex
 	baseRaw  *core.Config // un-normalized DefaultConfig template
 	baseNorm *core.Config // normalized template (SF / SA starting point)
 	slotLens map[slotKey][]model.Time
-
-	obsMu sync.Mutex // serializes Observer delivery across SA chains
 }
 
 type slotKey struct {
@@ -66,15 +75,53 @@ func New(app *model.Application, arch *model.Architecture, options ...Option) (*
 	if app == nil || arch == nil {
 		return nil, fmt.Errorf("solve: nil application or architecture")
 	}
-	s := &Solver{app: app, arch: arch, slotLens: make(map[slotKey][]model.Time)}
+	s := &Solver{
+		app: app, arch: arch,
+		cache: &sysCache{slotLens: make(map[slotKey][]model.Time)},
+		obsMu: &sync.Mutex{},
+	}
 	for _, o := range options {
 		if o != nil {
 			o(&s.opts)
 		}
 	}
-	s.opts.normalize()
+	s.opts.Normalize()
 	s.pool = engine.New(s.opts.Workers)
 	return s, nil
+}
+
+// Observed returns a derived session that shares this solver's pool and
+// per-system caches but streams progress to obs instead. Since the
+// shared caches carry only seed-independent state, results from a
+// derived session are bit-identical to the parent's.
+func (s *Solver) Observed(obs Observer) *Solver {
+	d := *s
+	d.opts.Observer = obs
+	d.obsMu = &sync.Mutex{}
+	return &d
+}
+
+// Derive returns a session for the same system with a fresh option set
+// (applied to zero Options and normalized exactly like New's), sharing
+// the parent's seed-independent derived-state caches — and its pool,
+// when the worker counts agree. The service layer uses it to serve
+// every option variant (strategy, seed, budgets, per-job observers) of
+// one cached system without re-deriving templates; results are
+// bit-identical to a cold Solver built with the same options.
+func (s *Solver) Derive(options ...Option) *Solver {
+	d := &Solver{app: s.app, arch: s.arch, cache: s.cache, obsMu: &sync.Mutex{}}
+	for _, o := range options {
+		if o != nil {
+			o(&d.opts)
+		}
+	}
+	d.opts.Normalize()
+	if d.opts.Workers == s.opts.Workers {
+		d.pool = s.pool
+	} else {
+		d.pool = engine.New(d.opts.Workers)
+	}
+	return d
 }
 
 // Application returns the session's application.
@@ -89,28 +136,30 @@ func (s *Solver) Options() Options { return s.opts }
 // baseConfig returns a fresh clone of the cached un-normalized default
 // configuration (the OptimizeSchedule starting template).
 func (s *Solver) baseConfig() *core.Config {
-	s.mu.Lock()
-	if s.baseRaw == nil {
-		s.baseRaw = core.DefaultConfig(s.app, s.arch)
+	c := s.cache
+	c.mu.Lock()
+	if c.baseRaw == nil {
+		c.baseRaw = core.DefaultConfig(s.app, s.arch)
 	}
-	cfg := s.baseRaw.Clone()
-	s.mu.Unlock()
+	cfg := c.baseRaw.Clone()
+	c.mu.Unlock()
 	return cfg
 }
 
 // normalizedBase returns a fresh clone of the cached normalized default
 // configuration (the SF result shape and the annealers' start point).
 func (s *Solver) normalizedBase() (*core.Config, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if s.baseNorm == nil {
+	c := s.cache
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	if c.baseNorm == nil {
 		cfg := core.DefaultConfig(s.app, s.arch)
 		if err := cfg.Normalize(s.app); err != nil {
 			return nil, err
 		}
-		s.baseNorm = cfg
+		c.baseNorm = cfg
 	}
-	return s.baseNorm.Clone(), nil
+	return c.baseNorm.Clone(), nil
 }
 
 // slotLengths is the cached tsched.RecommendedSlotLengths: the
@@ -119,13 +168,14 @@ func (s *Solver) normalizedBase() (*core.Config, error) {
 // Synthesize call of the session.
 func (s *Solver) slotLengths(owner model.NodeID, max int) []model.Time {
 	k := slotKey{owner: owner, max: max}
-	s.mu.Lock()
-	lengths, ok := s.slotLens[k]
+	c := s.cache
+	c.mu.Lock()
+	lengths, ok := c.slotLens[k]
 	if !ok {
 		lengths = tsched.RecommendedSlotLengths(s.app, s.arch, owner, max)
-		s.slotLens[k] = lengths
+		c.slotLens[k] = lengths
 	}
-	s.mu.Unlock()
+	c.mu.Unlock()
 	return lengths
 }
 

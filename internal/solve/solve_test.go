@@ -336,3 +336,92 @@ func TestSimulateCancellation(t *testing.T) {
 }
 
 func sim0() sim.Options { return sim.Options{Cycles: 1} }
+
+// TestObservedSharesCachesStreamsOwnEvents checks the derived-session
+// contract behind the service layer's per-job observers: Observed
+// shares the parent's derived-state caches (same template pointers),
+// streams events only to its own observer, and synthesizes a result
+// bit-identical to the parent's.
+func TestObservedSharesCachesStreamsOwnEvents(t *testing.T) {
+	app, arch := system(t, 3)
+	var parentEvents []Progress
+	parent, err := New(app, arch,
+		WithStrategy(OptimizeResources),
+		WithObserver(ObserverFunc(func(p Progress) { parentEvents = append(parentEvents, p) })))
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	want, err := parent.Synthesize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parentSeen := len(parentEvents)
+	if parentSeen == 0 {
+		t.Fatal("parent observer saw no events")
+	}
+
+	var derivedEvents []Progress
+	derived := parent.Observed(ObserverFunc(func(p Progress) { derivedEvents = append(derivedEvents, p) }))
+	if derived.cache != parent.cache {
+		t.Error("derived session does not share the parent's cache")
+	}
+	if derived.pool != parent.pool {
+		t.Error("derived session does not share the parent's pool")
+	}
+	got, err := derived.Synthesize(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Error("derived session result differs from parent's")
+	}
+	if len(derivedEvents) == 0 {
+		t.Error("derived observer saw no events")
+	}
+	if len(parentEvents) != parentSeen {
+		t.Errorf("derived run leaked %d events into the parent observer", len(parentEvents)-parentSeen)
+	}
+}
+
+// TestDeriveBitIdenticalToColdSolver checks the service layer's
+// cache-sharing contract: a session derived from a base Solver with a
+// fresh option set produces results bit-identical to a cold Solver
+// built with those options, for every strategy, while sharing the
+// base's derived-state caches.
+func TestDeriveBitIdenticalToColdSolver(t *testing.T) {
+	app, arch := system(t, 2)
+	base, err := New(app, arch) // plain base, as the service caches it
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx := context.Background()
+	for _, strat := range Strategies() {
+		opts := []Option{WithStrategy(strat), WithSeed(7), WithSAIterations(40), WithSARestarts(2)}
+		derived := base.Derive(opts...)
+		if derived.cache != base.cache {
+			t.Fatalf("%v: derived session does not share the base cache", strat)
+		}
+		if derived.pool != base.pool {
+			t.Fatalf("%v: derived session does not share the base pool (same workers)", strat)
+		}
+		cold, err := New(app, arch, opts...)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !reflect.DeepEqual(derived.Options(), cold.Options()) {
+			t.Fatalf("%v: derived options %+v differ from cold options %+v", strat, derived.Options(), cold.Options())
+		}
+		got, err := derived.Synthesize(ctx)
+		if err != nil {
+			t.Fatalf("%v: derived: %v", strat, err)
+		}
+		want, err := cold.Synthesize(ctx)
+		if err != nil {
+			t.Fatalf("%v: cold: %v", strat, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%v: derived result differs from cold Solver", strat)
+		}
+	}
+}

@@ -23,10 +23,15 @@
 // Simulate) remain as thin deprecated wrappers; see solver.go and
 // docs/ARCHITECTURE.md for the migration table.
 //
+// For serving workloads the same operations are exposed over a
+// wire-format job API: NewService fronts cached Solver sessions with a
+// bounded asynchronous job queue, and NewServiceHandler (the core of
+// cmd/mcs-serve) serves it over HTTP; see service.go.
+//
 // The heavy lifting lives in the internal packages (model, ttp, can,
-// rta, gateway, tsched, core, engine, solve, hopa, opt, sa, gen, sim,
-// cruise, expt); see docs/ARCHITECTURE.md for the package map and
-// README.md for the tool guide.
+// rta, gateway, tsched, core, engine, solve, service, hopa, opt, sa,
+// gen, sim, cruise, expt); see docs/ARCHITECTURE.md for the package map
+// and README.md for the tool guide.
 package repro
 
 import (

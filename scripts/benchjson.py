@@ -4,7 +4,9 @@
 Reads benchmark output on stdin, writes JSON to the file named by the
 first argument. Benchmarks named *Cold/*Cached are paired into a
 comparison section so the artifact directly answers "what does the
-cached Solver session buy over cold starts".
+cached Solver session buy over cold starts", and every benchmark also
+carries requests_per_sec (1e9 / ns_per_op) so service artifacts
+(BENCH_service.json) directly report throughput.
 """
 import json
 import re
@@ -19,9 +21,11 @@ def main() -> int:
     for line in sys.stdin:
         m = BENCH.match(line)
         if m:
+            ns = float(m.group(3))
             results[m.group(1)] = {
                 "iterations": int(m.group(2)),
-                "ns_per_op": float(m.group(3)),
+                "ns_per_op": ns,
+                "requests_per_sec": round(1e9 / ns, 3) if ns else None,
             }
     comparisons = {}
     for name, cold in results.items():

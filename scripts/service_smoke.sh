@@ -1,0 +1,74 @@
+#!/usr/bin/env bash
+# Service integration smoke test: build mcs-serve with the race
+# detector, start it, run a scripted submit -> poll -> result round
+# trip plus an SSE read and a synchronous analyze, then SIGTERM it and
+# assert a clean (exit 0) drain. CI runs this as the service job;
+# locally: ./scripts/service_smoke.sh
+set -euo pipefail
+
+PORT="${PORT:-8931}"
+BASE="http://127.0.0.1:$PORT"
+WORKDIR="$(mktemp -d)"
+trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+
+echo "== build (race) =="
+go build -race -o "$WORKDIR/mcs-serve" ./cmd/mcs-serve
+go build -o "$WORKDIR/mcs-gen" ./cmd/mcs-gen
+
+echo "== start =="
+"$WORKDIR/mcs-serve" -addr "127.0.0.1:$PORT" -workers 2 -job-workers 2 &
+SERVE_PID=$!
+for _ in $(seq 1 100); do
+  curl -fsS "$BASE/healthz" >/dev/null 2>&1 && break
+  sleep 0.2
+done
+curl -fsS "$BASE/healthz" >/dev/null
+
+echo "== submit =="
+"$WORKDIR/mcs-gen" -nodes 2 -seed 7 -procs-per-node 6 -o "$WORKDIR/sys.json"
+jq '{system: ., strategy: "or"}' "$WORKDIR/sys.json" >"$WORKDIR/req.json"
+SUB="$(curl -fsS -d @"$WORKDIR/req.json" "$BASE/v1/synthesize")"
+ID="$(echo "$SUB" | jq -re .id)"
+echo "job $ID"
+
+echo "== poll =="
+STATE=""
+for _ in $(seq 1 300); do
+  ST="$(curl -fsS "$BASE/v1/jobs/$ID")"
+  STATE="$(echo "$ST" | jq -re .state)"
+  [ "$STATE" = "done" ] && break
+  [ "$STATE" = "failed" ] && { echo "job failed: $ST" >&2; exit 1; }
+  sleep 0.2
+done
+[ "$STATE" = "done" ] || { echo "job stuck in state $STATE" >&2; exit 1; }
+echo "$ST" | jq -e '.result.config.round.slots | length > 0' >/dev/null
+echo "$ST" | jq -e '.result.analysis | has("schedulable")' >/dev/null
+echo "result: $(echo "$ST" | jq -c '.result.analysis')"
+
+echo "== cache hit =="
+SUB2="$(curl -fsS -d @"$WORKDIR/req.json" "$BASE/v1/synthesize")"
+ID2="$(echo "$SUB2" | jq -re .id)"
+for _ in $(seq 1 300); do
+  ST2="$(curl -fsS "$BASE/v1/jobs/$ID2")"
+  [ "$(echo "$ST2" | jq -re .state)" = "done" ] && break
+  sleep 0.2
+done
+echo "$ST2" | jq -e '.result.cacheHit == true' >/dev/null
+# Bit-identical configurations from the cold and the cached job.
+diff <(echo "$ST" | jq -S .result.config) <(echo "$ST2" | jq -S .result.config) >/dev/null \
+  || { echo "cache-hit config differs from cold config" >&2; exit 1; }
+
+echo "== SSE =="
+EVENTS="$(curl -fsS -N --max-time 60 "$BASE/v1/jobs/$ID/events")"
+echo "$EVENTS" | grep -q "^event: done" || { echo "no done event on SSE stream" >&2; exit 1; }
+
+echo "== analyze =="
+jq '{system: .}' "$WORKDIR/sys.json" | curl -fsS -d @- "$BASE/v1/analyze" \
+  | jq -e '.results[0].analysis | has("buffersTotal")' >/dev/null
+
+echo "== drain (SIGTERM) =="
+kill -TERM "$SERVE_PID"
+EXIT=0
+wait "$SERVE_PID" || EXIT=$?
+[ "$EXIT" -eq 0 ] || { echo "mcs-serve exited $EXIT after SIGTERM" >&2; exit 1; }
+echo "service smoke test passed"

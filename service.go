@@ -1,0 +1,75 @@
+package repro
+
+import (
+	"net/http"
+
+	"repro/internal/service"
+)
+
+// Wire-level request/response types of the synthesis service: see
+// package service for the full documentation. Systems travel in the
+// SaveSystem JSON encoding, configurations in the SaveConfig encoding,
+// so files produced by the CLI tools are valid wire payloads verbatim.
+type (
+	// Service fronts Solver sessions with a wire-format job model: a
+	// bounded queue of asynchronous synthesis jobs, a fingerprint-keyed
+	// LRU of cached sessions, progress streaming and graceful drain.
+	Service = service.Service
+	// ServiceOptions tunes worker counts, queue depth and cache size.
+	ServiceOptions = service.Options
+	// SynthesisRequest asks for an asynchronous configuration synthesis.
+	SynthesisRequest = service.SynthesisRequest
+	// SubmitResponse acknowledges an accepted job with its poll URLs.
+	SubmitResponse = service.SubmitResponse
+	// JobStatus / JobResult / JobState describe a job's lifecycle; the
+	// result configuration feeds LoadConfig unchanged.
+	JobStatus = service.JobStatus
+	JobResult = service.JobResult
+	JobState  = service.JobState
+	// ProgressEvent is the wire form of a Solver progress event.
+	ProgressEvent = service.ProgressEvent
+	// AnalysisRequest / AnalysisResponse / AnalysisOutcome /
+	// AnalysisSummary drive the synchronous batch-analysis endpoint.
+	AnalysisRequest  = service.AnalysisRequest
+	AnalysisResponse = service.AnalysisResponse
+	AnalysisOutcome  = service.AnalysisOutcome
+	AnalysisSummary  = service.AnalysisSummary
+	// ServiceStats is the health-endpoint snapshot.
+	ServiceStats = service.Stats
+)
+
+// Job lifecycle states.
+const (
+	JobQueued   = service.StateQueued
+	JobRunning  = service.StateRunning
+	JobDone     = service.StateDone
+	JobCanceled = service.StateCanceled
+	JobFailed   = service.StateFailed
+)
+
+// Service submission errors.
+var (
+	// ErrQueueFull rejects a Submit when the bounded job queue is at
+	// capacity (HTTP 429).
+	ErrQueueFull = service.ErrQueueFull
+	// ErrDraining rejects a Submit during graceful shutdown (HTTP 503).
+	ErrDraining = service.ErrDraining
+	// ErrUnknownJob reports a job ID the service never issued.
+	ErrUnknownJob = service.ErrUnknownJob
+)
+
+// NewService starts a synthesis service: JobWorkers runner goroutines
+// execute queued jobs on cached Solver sessions. Stop it with
+// Service.Drain (graceful, best-so-far) or Service.Close.
+func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// NewServiceHandler exposes a Service over HTTP: POST /v1/synthesize,
+// GET /v1/jobs/{id}, GET /v1/jobs/{id}/events (SSE), DELETE
+// /v1/jobs/{id}, POST /v1/analyze and GET /healthz. cmd/mcs-serve is
+// the daemon around it; embedders mount it on their own server.
+func NewServiceHandler(s *Service) http.Handler { return service.NewHandler(s) }
+
+// Fingerprint returns the canonical content hash of a system: a
+// SHA-256 over every semantic field (names excluded), stable across
+// JSON round trips. The service keys its Solver cache on it.
+func Fingerprint(sys *System) (string, error) { return sys.Fingerprint() }
