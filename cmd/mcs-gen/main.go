@@ -1,18 +1,29 @@
 // Command mcs-gen generates random two-cluster applications with the
 // workload parameters of the paper's evaluation (§6) and writes them as
-// JSON system files consumable by mcs-synth and mcs-sim.
+// JSON system files consumable by mcs-synth, mcs-sim and mcs-dse.
+//
+// Batch mode (-n) emits a seeded scenario corpus instead of a single
+// system: -n count specs from repro.Corpus — spanning node counts,
+// CPU/bus utilization targets, inter-cluster ratios and WCET
+// distributions — land in -out as corpus-NNN.json files plus a
+// MANIFEST.json recording each file's spec. The same corpus (same
+// seeds, same sweep) backs the DSE benchmarks and the property tests,
+// so a corpus on disk reproduces exactly what CI explored.
 //
 // Examples:
 //
 //	mcs-gen -nodes 4 -seed 7 -o app.json
 //	mcs-gen -nodes 4 -inter 30 -o fig9c.json     # fixed gateway traffic
 //	mcs-gen -nodes 4 -cpu-util 0.4 -bus-util 0.6 # asymmetric load targets
+//	mcs-gen -n 12 -seed 100 -out corpus/         # seeded scenario corpus
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
+	"path/filepath"
 
 	"repro"
 )
@@ -28,8 +39,28 @@ func main() {
 		busUtil = flag.Float64("bus-util", 0, "CAN bus utilization target (0 = -util, else default 0.2)")
 		exp     = flag.Bool("exponential", false, "draw WCETs from an exponential distribution instead of uniform")
 		out     = flag.String("o", "", "output file (default stdout)")
+		count   = flag.Int("n", 0, "batch mode: emit a corpus of this many systems into -out (sweeps utilization, inter-cluster ratio, node count; -seed is the base seed)")
+		outDir  = flag.String("out", "", "batch mode output directory (required with -n)")
 	)
 	flag.Parse()
+	if *count > 0 {
+		if *outDir == "" {
+			fatal(fmt.Errorf("-n requires -out <dir>"))
+		}
+		// The corpus sweep fixes the workload axes itself; explicitly
+		// set single-system flags would be silently dropped, so reject
+		// the conflicting invocation instead.
+		allowed := map[string]bool{"n": true, "out": true, "seed": true, "procs-per-node": true}
+		flag.Visit(func(f *flag.Flag) {
+			if !allowed[f.Name] {
+				fatal(fmt.Errorf("-%s conflicts with batch mode: -n sweeps the workload axes itself (only -seed, -procs-per-node and -out apply)", f.Name))
+			}
+		})
+		if err := writeCorpus(*count, *seed, *perNode, *outDir); err != nil {
+			fatal(err)
+		}
+		return
+	}
 	if *nodes < 2 || *nodes%2 != 0 {
 		fatal(fmt.Errorf("-nodes must be even and >= 2, got %d", *nodes))
 	}
@@ -69,6 +100,53 @@ func main() {
 	fmt.Printf("wrote %s: %d processes, %d edges, %d inter-cluster messages\n",
 		*out, len(sys.Application.Procs), len(sys.Application.Edges),
 		len(sys.Application.GatewayEdges(sys.Architecture)))
+}
+
+// manifestEntry records one corpus member: the file and the exact
+// generator spec that produced it, so any member regenerates from the
+// manifest alone.
+type manifestEntry struct {
+	File string        `json:"file"`
+	Spec repro.GenSpec `json:"spec"`
+}
+
+// writeCorpus emits the repro.Corpus sweep as corpus-NNN.json system
+// files plus a MANIFEST.json into dir.
+func writeCorpus(n int, base int64, perNode int, dir string) error {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return err
+	}
+	specs := repro.Corpus(n, base, perNode)
+	manifest := make([]manifestEntry, 0, n)
+	for i, spec := range specs {
+		sys, err := repro.Generate(spec)
+		if err != nil {
+			return fmt.Errorf("corpus member %d (seed %d): %w", i, spec.Seed, err)
+		}
+		name := fmt.Sprintf("corpus-%03d.json", i)
+		if err := repro.SaveSystem(sys, filepath.Join(dir, name)); err != nil {
+			return err
+		}
+		manifest = append(manifest, manifestEntry{File: name, Spec: spec})
+		fmt.Printf("wrote %s: seed=%d nodes=%d cpu=%.2f bus=%.2f inter=%d procs=%d\n",
+			filepath.Join(dir, name), spec.Seed, spec.TTNodes+spec.ETNodes,
+			spec.CPUUtil, spec.BusUtil, spec.InterClusterMsgs, len(sys.Application.Procs))
+	}
+	f, err := os.Create(filepath.Join(dir, "MANIFEST.json"))
+	if err != nil {
+		return err
+	}
+	enc := json.NewEncoder(f)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(manifest); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Close(); err != nil {
+		return err
+	}
+	fmt.Printf("wrote %s: %d systems\n", filepath.Join(dir, "MANIFEST.json"), n)
+	return nil
 }
 
 func fatal(err error) {

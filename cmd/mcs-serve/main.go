@@ -1,13 +1,16 @@
 // Command mcs-serve runs the multi-cluster synthesis service over HTTP:
-// asynchronous synthesize jobs with polling and SSE progress streams,
-// synchronous batch analysis, and an LRU of cached Solver sessions
-// keyed by the canonical system fingerprint.
+// asynchronous synthesize and design-space-exploration jobs with
+// polling and SSE progress streams, synchronous batch analysis, and an
+// LRU of cached Solver sessions keyed by the canonical system
+// fingerprint.
 //
-//	POST   /v1/synthesize       submit a job (202 + job id)
+//	POST   /v1/synthesize       submit a synthesis job (202 + job id)
+//	POST   /v1/explore          submit a Pareto exploration job (202 + job id)
 //	GET    /v1/jobs/{id}        poll status/result
 //	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
 //	DELETE /v1/jobs/{id}        cancel, keeping the best-so-far result
 //	POST   /v1/analyze          synchronous batch analysis
+//	GET    /v1/strategies       machine-readable synthesis strategy list
 //	GET    /healthz             liveness + job/cache statistics
 //
 // SIGTERM/SIGINT drain gracefully: intake stops, in-flight jobs get

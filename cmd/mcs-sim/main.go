@@ -9,16 +9,15 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 
 	"repro"
+	"repro/internal/cli"
 )
+
+const tool = "mcs-sim"
 
 func main() {
 	var (
@@ -32,46 +31,31 @@ func main() {
 	)
 	flag.Parse()
 
-	var sys *repro.System
-	var err error
-	if *cruiseFl {
-		sys, err = repro.CruiseController()
-	} else if *in != "" {
-		sys, err = repro.LoadSystem(*in)
-	} else {
-		err = fmt.Errorf("need -in <file> or -cruise")
-	}
+	sys, err := cli.LoadSystem(*in, *cruiseFl)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	strat, err := repro.ParseStrategy(*strategy)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	// One Solver session drives both the synthesis and the simulation;
 	// Ctrl-C cancels whichever is running.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
 	solver, err := repro.NewSolver(sys.Application, sys.Architecture, repro.WithStrategy(strat))
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	res, err := solver.Synthesize(ctx)
-	if err != nil {
-		if errors.Is(err, context.Canceled) {
-			if res != nil {
-				fmt.Fprintf(os.Stderr, "mcs-sim: interrupted during synthesis; best so far: schedulable=%v delta=%d s_total=%dB (nothing simulated)\n",
-					res.Analysis.Schedulable, res.Analysis.Delta, res.Analysis.Buffers.Total)
-			} else {
-				fmt.Fprintln(os.Stderr, "mcs-sim: interrupted before any configuration was evaluated")
-			}
-			os.Exit(130)
-		}
-		fatal(err)
+	if cli.Interrupted(tool, err, res != nil) {
+		fmt.Fprintf(os.Stderr, "mcs-sim: best so far: schedulable=%v delta=%d s_total=%dB (nothing simulated)\n",
+			res.Analysis.Schedulable, res.Analysis.Delta, res.Analysis.Buffers.Total)
+		cli.Exit()
 	}
 	if !res.Analysis.Schedulable {
-		fatal(fmt.Errorf("strategy %v did not produce a schedulable system (delta=%d); only executable tables can be simulated", strat, res.Analysis.Delta))
+		cli.Fatal(tool, fmt.Errorf("strategy %v did not produce a schedulable system (delta=%d); only executable tables can be simulated", strat, res.Analysis.Delta))
 	}
 	opts := repro.SimOptions{Cycles: *cycles, Seed: *seed}
 	if *trace {
@@ -85,15 +69,15 @@ func main() {
 	case "random":
 		opts.Exec = repro.ExecRandom
 	default:
-		fatal(fmt.Errorf("unknown -exec %q (want worst, best or random)", *execMode))
+		cli.Fatal(tool, fmt.Errorf("unknown -exec %q (want worst, best or random)", *execMode))
 	}
 	simRes, err := solver.Simulate(ctx, res.Config, res.Analysis, opts)
 	if err != nil {
-		if errors.Is(err, context.Canceled) {
+		if cli.Canceled(err) {
 			fmt.Fprintln(os.Stderr, "mcs-sim: interrupted during simulation")
-			os.Exit(130)
+			cli.Exit()
 		}
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	fmt.Printf("simulated %d hyper-periods (%s execution times): %d instances completed\n",
@@ -121,9 +105,4 @@ func main() {
 	if !ok || len(simRes.Violations) > 0 {
 		os.Exit(2)
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcs-sim:", err)
-	os.Exit(1)
 }

@@ -17,24 +17,35 @@
 package main
 
 import (
-	"context"
-	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"runtime"
 	"sort"
-	"syscall"
+	"strings"
 
 	"repro"
+	"repro/internal/cli"
 )
+
+const tool = "mcs-synth"
+
+// strategyNames lists the accepted -strategy values from the same
+// listing GET /v1/strategies serves, so the usage screen can never
+// drift from repro.ParseStrategy or the wire surface.
+func strategyNames() []string {
+	var names []string
+	for _, s := range repro.ListStrategies().Strategies {
+		names = append(names, s.Name)
+	}
+	return names
+}
 
 func main() {
 	var (
 		in         = flag.String("in", "", "input system JSON (from mcs-gen)")
 		cruiseFl   = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
-		strategy   = flag.String("strategy", "or", "synthesis strategy: sf, os, or, sas, sar")
+		strategy   = flag.String("strategy", "or", "synthesis strategy: "+strings.Join(strategyNames(), ", "))
 		saIters    = flag.Int("sa-iterations", 300, "iteration budget for sas/sar")
 		saRestarts = flag.Int("sa-restarts", 1, "independent annealing chains for sas/sar (best-ever wins)")
 		seed       = flag.Int64("seed", 1, "seed for the randomized strategies")
@@ -43,15 +54,24 @@ func main() {
 		tables     = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
 		saveCfg    = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
 	)
+	// -h appends the per-strategy descriptions below the flag listing.
+	defaultUsage := flag.Usage
+	flag.Usage = func() {
+		defaultUsage()
+		fmt.Fprintf(flag.CommandLine.Output(), "\nStrategies (also listed by GET /v1/strategies on mcs-serve):\n")
+		for _, s := range repro.ListStrategies().Strategies {
+			fmt.Fprintf(flag.CommandLine.Output(), "  %-4s %s\n", s.Name, s.Description)
+		}
+	}
 	flag.Parse()
 
-	sys, err := loadSystem(*in, *cruiseFl)
+	sys, err := cli.LoadSystem(*in, *cruiseFl)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 	strat, err := repro.ParseStrategy(*strategy)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	opts := []repro.Option{
@@ -69,37 +89,27 @@ func main() {
 	}
 	solver, err := repro.NewSolver(sys.Application, sys.Architecture, opts...)
 	if err != nil {
-		fatal(err)
+		cli.Fatal(tool, err)
 	}
 
 	// Ctrl-C cancels the search within one evaluation granule; the
 	// best-so-far configuration is still reported below.
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cli.Context()
 	defer stop()
 
 	res, err := solver.Synthesize(ctx)
-	interrupted := err != nil && errors.Is(err, context.Canceled) && res != nil
-	if err != nil && !interrupted {
-		if errors.Is(err, context.Canceled) {
-			fmt.Fprintln(os.Stderr, "mcs-synth: interrupted before any configuration was evaluated")
-			os.Exit(130)
-		}
-		fatal(err)
-	}
-	if interrupted {
-		fmt.Fprintln(os.Stderr, "mcs-synth: interrupted — reporting the best configuration found so far")
-	}
+	interrupted := cli.Interrupted(tool, err, res != nil)
 	report(sys, strat, res, *verbose)
 	if *saveCfg != "" {
 		f, err := os.Create(*saveCfg)
 		if err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		if err := res.Config.Save(f); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		if err := f.Close(); err != nil {
-			fatal(err)
+			cli.Fatal(tool, err)
 		}
 		fmt.Printf("configuration written to %s\n", *saveCfg)
 	}
@@ -108,21 +118,11 @@ func main() {
 		res.Analysis.WriteScheduleTables(os.Stdout, sys.Application, sys.Architecture)
 	}
 	if interrupted {
-		os.Exit(130)
+		cli.Exit()
 	}
 	if !res.Analysis.Schedulable {
 		os.Exit(2)
 	}
-}
-
-func loadSystem(in string, cruiseFl bool) (*repro.System, error) {
-	if cruiseFl {
-		return repro.CruiseController()
-	}
-	if in == "" {
-		return nil, fmt.Errorf("need -in <file> or -cruise")
-	}
-	return repro.LoadSystem(in)
 }
 
 func report(sys *repro.System, strat repro.Strategy, res *repro.SynthesisResult, verbose bool) {
@@ -163,9 +163,4 @@ func report(sys *repro.System, strat repro.Strategy, res *repro.SynthesisResult,
 				p.Name, pr.O, pr.J, pr.W, p.WCET, pr.Completion())
 		}
 	}
-}
-
-func fatal(err error) {
-	fmt.Fprintln(os.Stderr, "mcs-synth:", err)
-	os.Exit(1)
 }

@@ -1,0 +1,86 @@
+// Package cli holds the behavior every mcs-* command shares: the
+// SIGINT/SIGTERM cancellation context, the classification of a
+// cancellable run's outcome (best-so-far vs empty-handed interrupt vs
+// genuine failure), the uniform fatal-error exit, and the -in/-cruise
+// input convention. Before this package each command carried its own
+// copy of the interrupt plumbing, and the copies had already drifted
+// (mcs-synth once exited 0 on an empty-handed interrupt where mcs-sim
+// exited 130).
+package cli
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/signal"
+	"syscall"
+
+	"repro"
+)
+
+// CodeInterrupted is the conventional exit code of a run terminated by
+// SIGINT (128 + 2), used by every command after reporting best-so-far
+// results.
+const CodeInterrupted = 130
+
+// Context returns a context cancelled on SIGINT or SIGTERM, so a
+// Ctrl-C stops Solver operations at the next evaluation granule while
+// the command still reports the best result found so far. The stop
+// function releases the signal registration.
+func Context() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// Canceled reports whether err is a context cancellation (the marker
+// of an interrupted run, as opposed to a genuine failure).
+func Canceled(err error) bool {
+	return errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)
+}
+
+// Interrupted classifies the outcome of a cancellable run. It returns
+// false when err is nil (the run completed). For an interrupt with a
+// best-so-far result in hand it prints a "reporting the best result
+// found so far" notice and returns true — the caller reports the
+// result, then calls Exit. An empty-handed interrupt exits with
+// CodeInterrupted; any other error is fatal (exit 1).
+func Interrupted(tool string, err error, hasResult bool) bool {
+	if err == nil {
+		return false
+	}
+	if Canceled(err) {
+		if hasResult {
+			fmt.Fprintf(os.Stderr, "%s: interrupted — reporting the best result found so far\n", tool)
+			return true
+		}
+		fmt.Fprintf(os.Stderr, "%s: interrupted before any configuration was evaluated\n", tool)
+		os.Exit(CodeInterrupted)
+	}
+	Fatal(tool, err)
+	return false // unreachable
+}
+
+// Exit terminates an interrupted command with CodeInterrupted, after
+// the best-so-far results have been written.
+func Exit() {
+	os.Exit(CodeInterrupted)
+}
+
+// Fatal prints "tool: err" and exits 1.
+func Fatal(tool string, err error) {
+	fmt.Fprintln(os.Stderr, tool+":", err)
+	os.Exit(1)
+}
+
+// LoadSystem resolves the -in/-cruise input convention shared by the
+// synthesis commands: the built-in cruise-controller case study when
+// cruise is set, otherwise the system JSON at path in.
+func LoadSystem(in string, cruise bool) (*repro.System, error) {
+	if cruise {
+		return repro.CruiseController()
+	}
+	if in == "" {
+		return nil, fmt.Errorf("need -in <file> or -cruise")
+	}
+	return repro.LoadSystem(in)
+}

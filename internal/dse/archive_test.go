@@ -1,0 +1,287 @@
+package dse
+
+import (
+	"bytes"
+	"encoding/json"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/model"
+	"repro/internal/ttp"
+)
+
+func obj(d, b, w int) Objectives {
+	return Objectives{Delta: model.Time(d), Buffers: b, Bandwidth: model.Time(w)}
+}
+
+func TestDominance(t *testing.T) {
+	cases := []struct {
+		a, b               Objectives
+		dominates, weakly  bool
+		reverseWeakly      bool
+		reverseDominatesOK bool
+	}{
+		{obj(1, 1, 1), obj(2, 2, 2), true, true, false, false},
+		{obj(1, 1, 1), obj(1, 1, 1), false, true, true, false},
+		{obj(1, 2, 1), obj(2, 1, 2), false, false, false, false},
+		{obj(-5, 3, 7), obj(-5, 3, 8), true, true, false, false},
+		{obj(0, 0, 0), obj(0, 0, 0), false, true, true, false},
+	}
+	for i, c := range cases {
+		if got := c.a.Dominates(c.b); got != c.dominates {
+			t.Errorf("case %d: Dominates = %v, want %v", i, got, c.dominates)
+		}
+		if got := c.a.WeaklyDominates(c.b); got != c.weakly {
+			t.Errorf("case %d: WeaklyDominates = %v, want %v", i, got, c.weakly)
+		}
+		if got := c.b.WeaklyDominates(c.a); got != c.reverseWeakly {
+			t.Errorf("case %d: reverse WeaklyDominates = %v, want %v", i, got, c.reverseWeakly)
+		}
+		if c.dominates && c.b.Dominates(c.a) {
+			t.Errorf("case %d: both directions dominate", i)
+		}
+	}
+}
+
+// fakePoint builds a Point whose objectives are exactly o: the round
+// carries one slot of length o.Bandwidth and the analysis carries the
+// delta and buffer total directly.
+func fakePoint(o Objectives) Point {
+	return Point{
+		Config: &core.Config{Round: ttp.Round{Slots: []ttp.Slot{{Node: 1, Length: o.Bandwidth}}}},
+		Analysis: &core.Analysis{
+			Delta:       o.Delta,
+			Buffers:     core.Buffers{Total: o.Buffers},
+			Schedulable: o.Delta <= 0,
+		},
+	}
+}
+
+func TestArchiveKeepsMutuallyNonDominated(t *testing.T) {
+	a := NewArchive(0)
+	seq := []Objectives{
+		obj(10, 10, 10),
+		obj(5, 20, 10),  // trade-off: enters
+		obj(10, 10, 10), // duplicate: rejected
+		obj(12, 12, 12), // dominated: rejected
+		obj(1, 30, 30),  // another trade-off: enters
+		obj(5, 20, 9),   // dominates the second point: replaces it
+	}
+	want := []bool{true, true, false, false, true, true}
+	for i, o := range seq {
+		if got := a.Add(fakePoint(o)); got != want[i] {
+			t.Errorf("Add(%v) = %v, want %v", o, got, want[i])
+		}
+	}
+	pts := a.Points()
+	if len(pts) != 3 {
+		t.Fatalf("archive has %d points, want 3", len(pts))
+	}
+	for i, p := range pts {
+		for j, q := range pts {
+			if i != j && p.Objectives().WeaklyDominates(q.Objectives()) {
+				t.Errorf("front points %v and %v are not mutually non-dominated", p.Objectives(), q.Objectives())
+			}
+		}
+	}
+	// Points are sorted by the lexicographic objective order.
+	for i := 1; i < len(pts); i++ {
+		if !pts[i-1].Objectives().Less(pts[i].Objectives()) {
+			t.Errorf("front not sorted at %d: %v !< %v", i, pts[i-1].Objectives(), pts[i].Objectives())
+		}
+	}
+}
+
+func TestArchiveCapPrunesMostCrowded(t *testing.T) {
+	a := NewArchive(3)
+	// Four mutually non-dominated points on a diagonal; the interior
+	// ones are the crowded ones, the extremes must survive.
+	for _, o := range []Objectives{obj(0, 30, 30), obj(10, 20, 20), obj(11, 19, 19), obj(30, 0, 0)} {
+		a.Add(fakePoint(o))
+	}
+	if a.Len() != 3 {
+		t.Fatalf("archive has %d points, want cap 3", a.Len())
+	}
+	var objs []Objectives
+	for _, p := range a.Points() {
+		objs = append(objs, p.Objectives())
+	}
+	hasExtreme := func(o Objectives) bool {
+		for _, q := range objs {
+			if q == o {
+				return true
+			}
+		}
+		return false
+	}
+	if !hasExtreme(obj(0, 30, 30)) || !hasExtreme(obj(30, 0, 0)) {
+		t.Errorf("pruning dropped an extreme: front %v", objs)
+	}
+}
+
+func TestArchivePinnedSurvivesPruningButNotDomination(t *testing.T) {
+	a := NewArchive(2)
+	pinned := obj(10, 20, 20)
+	if !a.AddPinned(fakePoint(pinned)) {
+		t.Fatal("pinned insertion refused")
+	}
+	// Flood the cap with mutually non-dominated unpinned points; the
+	// interior pinned point must survive every prune.
+	for _, o := range []Objectives{obj(0, 40, 40), obj(40, 0, 40), obj(40, 40, 0), obj(5, 30, 30)} {
+		a.Add(fakePoint(o))
+	}
+	hasPinned := false
+	for _, p := range a.Points() {
+		if p.Objectives() == pinned {
+			hasPinned = true
+		}
+	}
+	if !hasPinned {
+		t.Fatalf("capacity pruning evicted the pinned point; front: %v", frontObjs(a))
+	}
+	// A dominating point still replaces it — the guarantee transfers.
+	better := obj(9, 19, 19)
+	if !a.Add(fakePoint(better)) {
+		t.Fatal("dominating point refused")
+	}
+	dominated := false
+	for _, p := range a.Points() {
+		if p.Objectives() == pinned {
+			t.Error("dominated pinned point still archived")
+		}
+		if p.Objectives().WeaklyDominates(pinned) {
+			dominated = true
+		}
+	}
+	if !dominated {
+		t.Errorf("front lost weak domination of the pinned point; front: %v", frontObjs(a))
+	}
+}
+
+func TestArchiveRefusedPinTransfersToDominator(t *testing.T) {
+	a := NewArchive(2)
+	dominator := obj(10, 20, 20)
+	a.Add(fakePoint(dominator)) // unpinned first holder
+	if a.AddPinned(fakePoint(obj(10, 20, 21))) {
+		t.Fatal("dominated pinned candidate entered the archive")
+	}
+	// The refusing dominator inherited the pin: flooding the cap with
+	// diverse points must never crowd it out.
+	for _, o := range []Objectives{obj(0, 40, 40), obj(40, 0, 40), obj(40, 40, 0), obj(5, 30, 30)} {
+		a.Add(fakePoint(o))
+	}
+	found := false
+	for _, p := range a.Points() {
+		if p.Objectives() == dominator {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatalf("pruning evicted the dominator of a refused pinned point; front: %v", frontObjs(a))
+	}
+}
+
+func TestArchiveEvictedPinTransfersToReplacement(t *testing.T) {
+	a := NewArchive(3)
+	pinned := obj(10, 20, 20)
+	a.AddPinned(fakePoint(pinned))
+	// An unpinned dominator evicts the pinned point and must inherit
+	// the pin; flooding the cap afterwards may not prune it away.
+	dominator := obj(9, 19, 19)
+	if !a.Add(fakePoint(dominator)) {
+		t.Fatal("dominator refused")
+	}
+	for _, o := range []Objectives{obj(0, 100, 100), obj(100, 0, 100), obj(100, 100, 0), obj(8, 60, 60)} {
+		a.Add(fakePoint(o))
+	}
+	covered := false
+	for _, p := range a.Points() {
+		if p.Objectives().WeaklyDominates(pinned) {
+			covered = true
+		}
+	}
+	if !covered {
+		t.Fatalf("front lost weak domination of the pinned insertion after eviction + pruning; front: %v", frontObjs(a))
+	}
+}
+
+func frontObjs(a *Archive) []Objectives {
+	var out []Objectives
+	for _, p := range a.Points() {
+		out = append(out, p.Objectives())
+	}
+	return out
+}
+
+func TestHypervolume(t *testing.T) {
+	ref := obj(10, 10, 10)
+	cases := []struct {
+		name string
+		pts  []Objectives
+		want float64
+	}{
+		{"empty", nil, 0},
+		{"single", []Objectives{obj(0, 0, 0)}, 1000},
+		{"at ref contributes nothing", []Objectives{obj(10, 0, 0)}, 0},
+		// Inclusion-exclusion: 10*10*2 + 2*2*10 - 2*2*2 = 232.
+		{"two disjoint trade-offs", []Objectives{obj(0, 0, 8), obj(8, 8, 0)}, 232},
+		{"dominated adds nothing", []Objectives{obj(0, 0, 0), obj(5, 5, 5)}, 1000},
+		{"negative delta", []Objectives{obj(-10, 0, 0)}, 2000},
+	}
+	for _, c := range cases {
+		if got := Hypervolume(c.pts, ref); math.Abs(got-c.want) > 1e-9 {
+			t.Errorf("%s: Hypervolume = %v, want %v", c.name, got, c.want)
+		}
+	}
+}
+
+func TestHypervolumeMonotoneUnderExtension(t *testing.T) {
+	ref := obj(100, 100, 100)
+	base := []Objectives{obj(10, 50, 50), obj(50, 10, 50)}
+	hv1 := Hypervolume(base, ref)
+	hv2 := Hypervolume(append(base, obj(50, 50, 10)), ref)
+	if hv2 <= hv1 {
+		t.Errorf("adding a non-dominated point did not grow the hypervolume: %v -> %v", hv1, hv2)
+	}
+}
+
+func TestArchiveCSVAndJSON(t *testing.T) {
+	a := NewArchive(0)
+	a.Add(fakePoint(obj(-3, 40, 20)))
+	a.Add(fakePoint(obj(5, 10, 10)))
+
+	var csv bytes.Buffer
+	if err := a.WriteCSV(&csv); err != nil {
+		t.Fatalf("WriteCSV: %v", err)
+	}
+	lines := strings.Split(strings.TrimSpace(csv.String()), "\n")
+	if len(lines) != 3 {
+		t.Fatalf("CSV has %d lines, want header + 2 rows:\n%s", len(lines), csv.String())
+	}
+	if lines[0] != "delta,s_total,bus_bandwidth,schedulable" {
+		t.Errorf("CSV header = %q", lines[0])
+	}
+	if lines[1] != "-3,40,20,true" {
+		t.Errorf("CSV row 1 = %q", lines[1])
+	}
+
+	var js bytes.Buffer
+	if err := a.WriteJSON(&js); err != nil {
+		t.Fatalf("WriteJSON: %v", err)
+	}
+	var decoded []struct {
+		Delta       model.Time      `json:"delta"`
+		Buffers     int             `json:"buffers"`
+		Bandwidth   model.Time      `json:"bandwidth"`
+		Schedulable bool            `json:"schedulable"`
+		Config      json.RawMessage `json:"config"`
+	}
+	if err := json.Unmarshal(js.Bytes(), &decoded); err != nil {
+		t.Fatalf("front JSON does not decode: %v", err)
+	}
+	if len(decoded) != 2 || decoded[0].Delta != -3 || len(decoded[0].Config) == 0 {
+		t.Errorf("front JSON = %+v", decoded)
+	}
+}

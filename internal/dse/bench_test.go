@@ -1,0 +1,39 @@
+package dse
+
+import (
+	"context"
+	"runtime"
+	"testing"
+
+	"repro/internal/gen"
+)
+
+// benchmarkExplore measures one exploration configuration and reports
+// the front quality next to the wall-clock: scripts/benchjson.py picks
+// the front_size and hypervolume metrics up into BENCH_dse.json, so the
+// artifact answers "what does the explorer return and how fast" per
+// worker count in one place. The front is bit-identical across worker
+// counts, so front_size and hypervolume must agree between the
+// Workers1/WorkersMax variants — only ns/op may differ.
+func benchmarkExplore(b *testing.B, workers int) {
+	sys, err := gen.Generate(gen.Spec{Seed: 3, TTNodes: 2, ETNodes: 2, ProcsPerNode: 8, ProcsPerGraph: 8})
+	if err != nil {
+		b.Fatal(err)
+	}
+	opts := Options{Population: 12, Generations: 6, Seed: 3, Workers: workers}
+	var res *Result
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		res, err = Explore(context.Background(), sys.Application, sys.Architecture, opts)
+		if err != nil {
+			b.Fatal(err)
+		}
+	}
+	b.ReportMetric(float64(len(res.Front)), "front_size")
+	b.ReportMetric(res.Hypervolume, "hypervolume")
+	b.ReportMetric(float64(res.Evaluations), "evaluations")
+}
+
+func BenchmarkExploreWorkers1(b *testing.B) { benchmarkExplore(b, 1) }
+
+func BenchmarkExploreWorkersMax(b *testing.B) { benchmarkExplore(b, runtime.NumCPU()) }

@@ -368,6 +368,44 @@ func Paper(nodes int, seed int64) (*model.System, error) {
 	})
 }
 
+// Corpus returns n deterministic generator specs spanning the
+// evaluation space the paper's Fig. 9 sweeps one axis at a time: node
+// counts 2 or 4 (split half TTC half ETC), CPU and bus utilization
+// targets from {0.15, 0.2, 0.25, 0.3}, forced inter-cluster message
+// counts from natural/4/8/12, and uniform or exponential WCETs. The
+// axes are drawn independently from one rng seeded with base — fixed
+// cycles would confound them (every member of one node count sharing
+// one distribution) — so every axis combination is reachable, and
+// Corpus(n, base)[i] is stable for every n >= i. Spec i uses seed
+// base+i, so corpora with different bases never collide.
+//
+// procsPerNode <= 0 selects the paper's 40 processes per node; tests
+// and benchmarks pass a small count to keep the systems cheap. The
+// same corpus backs `mcs-gen -n`, the DSE benchmarks and the
+// cross-strategy property tests, so regressions reproduce from a spec
+// index alone.
+func Corpus(n int, base int64, procsPerNode int) []Spec {
+	cpu := []float64{0.15, 0.2, 0.25, 0.3}
+	bus := []float64{0.15, 0.2, 0.25, 0.3}
+	inter := []int{0, 4, 8, 12}
+	rng := rand.New(rand.NewSource(base))
+	specs := make([]Spec, n)
+	for i := range specs {
+		nodes := 2 + 2*rng.Intn(2)
+		specs[i] = Spec{
+			Seed:             base + int64(i),
+			TTNodes:          nodes / 2,
+			ETNodes:          nodes / 2,
+			ProcsPerNode:     procsPerNode,
+			WCETDist:         Dist(rng.Intn(2)),
+			CPUUtil:          cpu[rng.Intn(len(cpu))],
+			BusUtil:          bus[rng.Intn(len(bus))],
+			InterClusterMsgs: inter[rng.Intn(len(inter))],
+		}
+	}
+	return specs
+}
+
 // Fig9c builds a 160-process system (4 nodes) with exactly inter
 // messages crossing the gateway, the workload of the paper's Fig. 9c.
 func Fig9c(inter int, seed int64) (*model.System, error) {

@@ -176,3 +176,52 @@ func TestPropertyGeneratedSystemsValid(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// TestCorpusDeterministicAndValid: the scenario corpus is stable per
+// (n, base) pair, every member generates a valid system, and the sweep
+// actually spans the intended axes (node counts, utilization targets,
+// WCET distributions).
+func TestCorpusDeterministicAndValid(t *testing.T) {
+	specs := Corpus(8, 100, 6)
+	again := Corpus(8, 100, 6)
+	if len(specs) != 8 {
+		t.Fatalf("Corpus returned %d specs, want 8", len(specs))
+	}
+	nodes := map[int]bool{}
+	cpus := map[float64]bool{}
+	dists := map[Dist]bool{}
+	for i, spec := range specs {
+		if spec != again[i] {
+			t.Errorf("Corpus spec %d not deterministic: %+v vs %+v", i, spec, again[i])
+		}
+		if spec.Seed != 100+int64(i) {
+			t.Errorf("spec %d seed %d, want %d", i, spec.Seed, 100+int64(i))
+		}
+		sys, err := Generate(spec)
+		if err != nil {
+			t.Fatalf("corpus member %d: %v", i, err)
+		}
+		if err := sys.Application.Validate(sys.Architecture); err != nil {
+			t.Fatalf("corpus member %d invalid: %v", i, err)
+		}
+		nodes[spec.TTNodes+spec.ETNodes] = true
+		cpus[spec.CPUUtil] = true
+		dists[spec.WCETDist] = true
+	}
+	if len(nodes) < 2 || len(cpus) < 3 || len(dists) != 2 {
+		t.Errorf("corpus sweep too narrow: nodes %v, cpu targets %v, dists %v", nodes, cpus, dists)
+	}
+	// Different bases must not collide in seed space.
+	other := Corpus(8, 200, 6)
+	for i := range specs {
+		if specs[i].Seed == other[i].Seed {
+			t.Errorf("bases 100 and 200 collide at member %d", i)
+		}
+	}
+	// Prefix stability: member i does not depend on the corpus size.
+	for i, spec := range Corpus(4, 100, 6) {
+		if spec != specs[i] {
+			t.Errorf("Corpus(4)[%d] != Corpus(8)[%d]: %+v vs %+v", i, i, spec, specs[i])
+		}
+	}
+}

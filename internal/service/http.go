@@ -10,10 +10,12 @@ import (
 // NewHandler exposes a Service over HTTP:
 //
 //	POST   /v1/synthesize       submit an async job     -> 202 SubmitResponse
+//	POST   /v1/explore          submit a DSE job        -> 202 SubmitResponse
 //	GET    /v1/jobs/{id}        poll status/result      -> 200 JobStatus
 //	GET    /v1/jobs/{id}/events SSE progress stream     -> progress*, done
 //	DELETE /v1/jobs/{id}        cancel (keeps best-so-far)
 //	POST   /v1/analyze          synchronous batch       -> 200 AnalysisResponse
+//	GET    /v1/strategies       synthesis strategy list -> 200 StrategiesResponse
 //	GET    /healthz             liveness + Stats
 //
 // Request and response bodies are the wire types of this package;
@@ -21,19 +23,10 @@ import (
 // (400 invalid request, 404 unknown job, 429 queue full, 503 draining).
 func NewHandler(s *Service) http.Handler {
 	mux := http.NewServeMux()
-	mux.HandleFunc("POST /v1/synthesize", func(w http.ResponseWriter, r *http.Request) {
-		var req SynthesisRequest
-		if err := decodeJSON(w, r, &req); err != nil {
-			writeError(w, decodeStatus(err), err)
-			return
-		}
-		sub, err := s.Submit(req)
-		if err != nil {
-			writeError(w, submitStatus(err), err)
-			return
-		}
-		w.Header().Set("Location", sub.StatusURL)
-		writeJSON(w, http.StatusAccepted, sub)
+	mux.HandleFunc("POST /v1/synthesize", handleSubmit(s.Submit))
+	mux.HandleFunc("POST /v1/explore", handleSubmit(s.SubmitExplore))
+	mux.HandleFunc("GET /v1/strategies", func(w http.ResponseWriter, r *http.Request) {
+		writeJSON(w, http.StatusOK, ListStrategies())
 	})
 	mux.HandleFunc("GET /v1/jobs/{id}", func(w http.ResponseWriter, r *http.Request) {
 		st, err := s.Status(r.PathValue("id"))
@@ -76,6 +69,27 @@ func NewHandler(s *Service) http.Handler {
 		writeJSON(w, http.StatusOK, s.Stats())
 	})
 	return mux
+}
+
+// handleSubmit is the shared submit flow of the asynchronous job
+// endpoints: strict decode, enqueue, error-to-status mapping, Location
+// header, 202 with the SubmitResponse. Both job kinds route through it
+// so the flow cannot drift between them.
+func handleSubmit[T any](submit func(T) (*SubmitResponse, error)) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		var req T
+		if err := decodeJSON(w, r, &req); err != nil {
+			writeError(w, decodeStatus(err), err)
+			return
+		}
+		sub, err := submit(req)
+		if err != nil {
+			writeError(w, submitStatus(err), err)
+			return
+		}
+		w.Header().Set("Location", sub.StatusURL)
+		writeJSON(w, http.StatusAccepted, sub)
+	}
 }
 
 // serveEvents streams a job's progress as Server-Sent Events: one

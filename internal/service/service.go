@@ -9,6 +9,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/solve"
 )
 
@@ -109,10 +110,13 @@ func New(opts Options) *Service {
 	return s
 }
 
-// job is the service-side state of one synthesis request.
+// job is the service-side state of one asynchronous request (a
+// synthesis or an exploration, per kind).
 type job struct {
 	id          string
+	kind        JobKind
 	req         SynthesisRequest
+	exploreReq  ExploreRequest
 	strategy    solve.Strategy
 	fingerprint string
 
@@ -137,14 +141,37 @@ func (s *Service) Submit(req SynthesisRequest) (*SubmitResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	j := &job{
+	return s.enqueue(&job{
+		kind:        KindSynthesize,
 		req:         req,
 		strategy:    strat,
 		fingerprint: fp,
-		state:       StateQueued,
-		subs:        make(map[chan ProgressEvent]struct{}),
-		done:        make(chan struct{}),
+	})
+}
+
+// SubmitExplore validates and enqueues an asynchronous design-space
+// exploration job. It shares Submit's queue, backpressure, Solver
+// cache and lifecycle; only the executed operation (Solver.Explore)
+// and the result shape (a Pareto front) differ.
+func (s *Service) SubmitExplore(req ExploreRequest) (*SubmitResponse, error) {
+	fp, err := req.normalize()
+	if err != nil {
+		return nil, err
 	}
+	return s.enqueue(&job{
+		kind:        KindExplore,
+		exploreReq:  req,
+		strategy:    solve.Explore,
+		fingerprint: fp,
+	})
+}
+
+// enqueue assigns an ID and a context to a validated job and offers it
+// to the bounded queue under the intake lock.
+func (s *Service) enqueue(j *job) (*SubmitResponse, error) {
+	j.state = StateQueued
+	j.subs = make(map[chan ProgressEvent]struct{})
+	j.done = make(chan struct{})
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
@@ -152,7 +179,7 @@ func (s *Service) Submit(req SynthesisRequest) (*SubmitResponse, error) {
 		return nil, ErrDraining
 	}
 	s.nextID++
-	j.id = fmt.Sprintf("j%06d-%s", s.nextID, fp[:8])
+	j.id = fmt.Sprintf("j%06d-%s", s.nextID, j.fingerprint[:8])
 	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
 	select {
 	case s.queue <- j:
@@ -163,7 +190,8 @@ func (s *Service) Submit(req SynthesisRequest) (*SubmitResponse, error) {
 	s.jobs[j.id] = j
 	return &SubmitResponse{
 		ID:          j.id,
-		Fingerprint: fp,
+		Kind:        j.kind,
+		Fingerprint: j.fingerprint,
 		StatusURL:   "/v1/jobs/" + j.id,
 		EventsURL:   "/v1/jobs/" + j.id + "/events",
 	}, nil
@@ -177,26 +205,79 @@ func (s *Service) run(j *job) {
 		return
 	}
 	j.state = StateRunning
+	sys := j.req.System
+	if j.kind == KindExplore {
+		sys = j.exploreReq.System
+	}
 	j.mu.Unlock()
 
 	base, hit, err := s.cache.getOrCreate(j.fingerprint, func() (*solve.Solver, error) {
-		return solve.New(j.req.System.Application, j.req.System.Architecture,
+		return solve.New(sys.Application, sys.Architecture,
 			solve.WithWorkers(s.opts.Workers))
 	})
 	if err != nil {
-		j.finish(nil, err, false)
+		j.finish(nil, err)
 		s.retire(j)
 		return
 	}
-	// One base session per system serves every option variant: Derive
-	// re-normalizes the request options from scratch while sharing the
-	// seed-independent caches, so a whole seed/strategy sweep over one
-	// system rides a single cache entry.
-	session := base.Derive(append(j.req.solverOptions(j.strategy, s.opts.Workers),
-		solve.WithObserver(solve.ObserverFunc(func(p solve.Progress) { j.publish(p) })))...)
-	res, err := session.Synthesize(j.ctx)
-	j.finish(res, err, hit)
+	// One base session per system serves every option variant and both
+	// job kinds: Derive re-normalizes the request options from scratch
+	// while sharing the seed-independent caches, so a whole
+	// seed/strategy/exploration sweep over one system rides a single
+	// cache entry.
+	observe := solve.WithObserver(solve.ObserverFunc(func(p solve.Progress) { j.publish(p) }))
+	var result *JobResult
+	switch j.kind {
+	case KindExplore:
+		session := base.Derive(solve.WithWorkers(s.opts.Workers), observe)
+		var res *dse.Result
+		res, err = session.Explore(j.ctx, j.exploreReq.dseOptions()...)
+		result, err = exploreResult(res, err, hit)
+	default:
+		session := base.Derive(append(j.req.solverOptions(j.strategy, s.opts.Workers), observe)...)
+		var res *solve.Result
+		res, err = session.Synthesize(j.ctx)
+		result, err = synthesisResult(res, err, hit)
+	}
+	j.finish(result, err)
 	s.retire(j)
+}
+
+// synthesisResult projects a synthesis outcome onto the wire result; a
+// result encoding failure surfaces as the job error when the run
+// itself succeeded.
+func synthesisResult(res *solve.Result, err error, cacheHit bool) (*JobResult, error) {
+	if res == nil || res.Config == nil {
+		return nil, err
+	}
+	cfgJSON, encErr := encodeConfig(res.Config)
+	if encErr != nil && err == nil {
+		err = encErr
+	}
+	return &JobResult{
+		Config:      cfgJSON,
+		Analysis:    summarize(res.Analysis),
+		Evaluations: res.Evaluations,
+		CacheHit:    cacheHit,
+	}, err
+}
+
+// exploreResult projects an exploration outcome (possibly a canceled
+// job's best-so-far front) onto the wire result.
+func exploreResult(res *dse.Result, err error, cacheHit bool) (*JobResult, error) {
+	if res == nil || len(res.Front) == 0 {
+		return nil, err
+	}
+	front, encErr := summarizeFront(res.Front)
+	if encErr != nil && err == nil {
+		err = encErr
+	}
+	return &JobResult{
+		Front:       front,
+		Hypervolume: res.Hypervolume,
+		Evaluations: res.Evaluations,
+		CacheHit:    cacheHit,
+	}, err
 }
 
 // retire frees a terminal job's request payload (the decoded system is
@@ -205,6 +286,7 @@ func (s *Service) run(j *job) {
 func (s *Service) retire(j *job) {
 	j.mu.Lock()
 	j.req = SynthesisRequest{}
+	j.exploreReq = ExploreRequest{}
 	j.mu.Unlock()
 	s.mu.Lock()
 	s.terminal = append(s.terminal, j.id)
@@ -228,6 +310,8 @@ func (j *job) publish(p solve.Progress) {
 		BestDelta:   p.BestDelta,
 		BestBuffers: p.BestBuffers,
 		Schedulable: p.Schedulable,
+		FrontSize:   p.FrontSize,
+		Hypervolume: p.Hypervolume,
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
@@ -246,25 +330,17 @@ func (j *job) publish(p solve.Progress) {
 }
 
 // finish records the terminal state of a job and releases its
-// subscribers and context.
-func (j *job) finish(res *solve.Result, err error, cacheHit bool) {
+// subscribers and context. A non-nil result arriving with an error is
+// a best-so-far outcome and is marked Partial.
+func (j *job) finish(result *JobResult, err error) {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.state.Terminal() {
 		return
 	}
-	if res != nil && res.Config != nil {
-		cfgJSON, encErr := encodeConfig(res.Config)
-		if encErr != nil && err == nil {
-			err = encErr
-		}
-		j.result = &JobResult{
-			Config:      cfgJSON,
-			Analysis:    summarize(res.Analysis),
-			Evaluations: res.Evaluations,
-			CacheHit:    cacheHit,
-			Partial:     err != nil,
-		}
+	if result != nil {
+		result.Partial = err != nil
+		j.result = result
 	}
 	switch {
 	case err == nil:
@@ -305,6 +381,7 @@ func (s *Service) Status(id string) (*JobStatus, error) {
 	defer j.mu.Unlock()
 	st := &JobStatus{
 		ID:          j.id,
+		Kind:        j.kind,
 		State:       j.state,
 		Fingerprint: j.fingerprint,
 		Strategy:    j.strategy.String(),

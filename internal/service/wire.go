@@ -4,8 +4,10 @@ import (
 	"bytes"
 	"encoding/json"
 	"fmt"
+	"strings"
 
 	"repro/internal/core"
+	"repro/internal/dse"
 	"repro/internal/model"
 	"repro/internal/solve"
 )
@@ -61,6 +63,61 @@ func (r *SynthesisRequest) solverOptions(strat solve.Strategy, workers int) []so
 		solve.WithSARestarts(r.SARestarts),
 		solve.WithWorkers(workers),
 	}
+}
+
+// ExploreRequest asks the service for an asynchronous multi-objective
+// design-space exploration (the dse job kind): instead of a single
+// configuration the job returns a Pareto front over (degree of
+// schedulability, total buffer need, reserved TTP bus bandwidth).
+// System uses the SaveSystem JSON encoding; zero option values select
+// the solve.DSEOptions defaults (population 16, 12 generations, warm
+// start enabled, seed 1).
+type ExploreRequest struct {
+	System *model.System `json:"system"`
+	// Seed drives the exploration randomness (the front is identical
+	// for every worker count under a fixed seed).
+	Seed int64 `json:"seed,omitempty"`
+	// Population and Generations bound the NSGA-II loop.
+	Population  int `json:"population,omitempty"`
+	Generations int `json:"generations,omitempty"`
+	// MoveBudget is the §5.1 moves sampled per mutation; MaxMutations
+	// caps the moves stacked per offspring; ArchiveCap bounds the
+	// non-dominated archive.
+	MoveBudget   int `json:"moveBudget,omitempty"`
+	MaxMutations int `json:"maxMutations,omitempty"`
+	ArchiveCap   int `json:"archiveCap,omitempty"`
+	// NoWarmStart skips the OS/OR warm start (by default the front
+	// weakly dominates the single-objective results).
+	NoWarmStart bool `json:"noWarmStart,omitempty"`
+}
+
+// normalize validates the request, finalizes the embedded system and
+// resolves the cache fingerprint.
+func (r *ExploreRequest) normalize() (string, error) {
+	if r.System == nil || r.System.Application == nil || r.System.Architecture == nil {
+		return "", fmt.Errorf("service: request must carry a system with both application and architecture")
+	}
+	if err := r.System.Application.Finalize(r.System.Architecture); err != nil {
+		return "", err
+	}
+	return r.System.Fingerprint()
+}
+
+// dseOptions maps the request onto the per-call exploration options;
+// solve.Explore defaults the zero values.
+func (r *ExploreRequest) dseOptions() []solve.DSEOption {
+	opts := []solve.DSEOption{
+		solve.WithExploreSeed(r.Seed),
+		solve.WithPopulation(r.Population),
+		solve.WithGenerations(r.Generations),
+		solve.WithMoveBudget(r.MoveBudget),
+		solve.WithMaxMutations(r.MaxMutations),
+		solve.WithArchiveCap(r.ArchiveCap),
+	}
+	if r.NoWarmStart {
+		opts = append(opts, solve.WithWarmStart(false))
+	}
+	return opts
 }
 
 // AnalysisRequest asks for a synchronous batch schedulability analysis:
@@ -123,6 +180,17 @@ func summarize(a *core.Analysis) *AnalysisSummary {
 	}
 }
 
+// JobKind distinguishes the asynchronous job kinds sharing the queue.
+type JobKind string
+
+const (
+	// KindSynthesize: single-configuration synthesis (SynthesisRequest).
+	KindSynthesize JobKind = "synthesize"
+	// KindExplore: multi-objective design-space exploration
+	// (ExploreRequest); the result carries a Pareto front.
+	KindExplore JobKind = "explore"
+)
+
 // JobState is the lifecycle of an asynchronous synthesis job.
 type JobState string
 
@@ -148,9 +216,12 @@ func (s JobState) Terminal() bool {
 // JobStatus is the polling view of a job.
 type JobStatus struct {
 	ID          string   `json:"id"`
+	Kind        JobKind  `json:"kind"`
 	State       JobState `json:"state"`
 	Fingerprint string   `json:"fingerprint"`
-	Strategy    string   `json:"strategy"`
+	// Strategy is the synthesis strategy of synthesize jobs ("DSE" for
+	// explore jobs).
+	Strategy string `json:"strategy"`
 	// Progress is the most recent progress event (nil before the first).
 	Progress *ProgressEvent `json:"progress,omitempty"`
 	// Result is set once State is terminal (absent for failed jobs and
@@ -160,19 +231,39 @@ type JobStatus struct {
 	Error string `json:"error,omitempty"`
 }
 
-// JobResult is the outcome of a synthesis job. Config uses the
-// core.Config.Save encoding, so it feeds back into mcs-synth -config
-// and LoadConfig unchanged.
+// JobResult is the outcome of an asynchronous job. For synthesize jobs
+// Config/Analysis carry the single configuration (the core.Config.Save
+// encoding, so it feeds back into mcs-synth -config and LoadConfig
+// unchanged); for explore jobs Front/Hypervolume carry the Pareto
+// front instead.
 type JobResult struct {
 	Config      json.RawMessage  `json:"config,omitempty"`
 	Analysis    *AnalysisSummary `json:"analysis,omitempty"`
 	Evaluations int              `json:"evaluations"`
+	// Front is the mutually non-dominated point set of an explore job,
+	// sorted by (delta, buffers, bandwidth); Hypervolume is its
+	// indicator against the front's own nadir reference.
+	Front       []FrontPoint `json:"front,omitempty"`
+	Hypervolume float64      `json:"hypervolume,omitempty"`
 	// CacheHit reports that the job ran on a cached Solver session; the
-	// configuration is bit-identical to a cold run either way.
+	// result is bit-identical to a cold run either way.
 	CacheHit bool `json:"cacheHit"`
-	// Partial marks a best-so-far configuration returned by a canceled
-	// or drained job.
+	// Partial marks a best-so-far result (configuration or front)
+	// returned by a canceled or drained job.
 	Partial bool `json:"partial,omitempty"`
+}
+
+// FrontPoint is the wire form of one Pareto-front point: the objective
+// vector (all minimized), the verdict, and the full configuration in
+// the core.Config.Save encoding.
+type FrontPoint struct {
+	Delta model.Time `json:"delta"`
+	// Buffers is s_total; Bandwidth is the reserved TTP transmission
+	// time per TDMA round (slot-length sum).
+	Buffers     int             `json:"buffers"`
+	Bandwidth   model.Time      `json:"bandwidth"`
+	Schedulable bool            `json:"schedulable"`
+	Config      json.RawMessage `json:"config,omitempty"`
 }
 
 // ProgressEvent is the wire form of a Solver progress event, tagged
@@ -188,14 +279,67 @@ type ProgressEvent struct {
 	BestDelta   int64  `json:"bestDelta"`
 	BestBuffers int    `json:"bestBuffers"`
 	Schedulable bool   `json:"schedulable"`
+	// FrontSize and Hypervolume describe the archive of an explore
+	// job's "dse" phase (absent elsewhere).
+	FrontSize   int     `json:"frontSize,omitempty"`
+	Hypervolume float64 `json:"hypervolume,omitempty"`
 }
 
-// SubmitResponse acknowledges an accepted synthesis job.
+// SubmitResponse acknowledges an accepted asynchronous job.
 type SubmitResponse struct {
-	ID          string `json:"id"`
-	Fingerprint string `json:"fingerprint"`
-	StatusURL   string `json:"statusUrl"`
-	EventsURL   string `json:"eventsUrl"`
+	ID          string  `json:"id"`
+	Kind        JobKind `json:"kind"`
+	Fingerprint string  `json:"fingerprint"`
+	StatusURL   string  `json:"statusUrl"`
+	EventsURL   string  `json:"eventsUrl"`
+}
+
+// StrategyInfo describes one synthesis strategy for clients that would
+// otherwise hardcode the names.
+type StrategyInfo struct {
+	// Name parses back through ParseStrategy (case-insensitive).
+	Name        string `json:"name"`
+	Description string `json:"description"`
+}
+
+// StrategiesResponse answers GET /v1/strategies: every strategy a
+// SynthesisRequest accepts, in declaration order.
+type StrategiesResponse struct {
+	Strategies []StrategyInfo `json:"strategies"`
+}
+
+// ListStrategies builds the strategies listing from solve.Strategies,
+// so the wire surface can never drift from the Solver's.
+func ListStrategies() StrategiesResponse {
+	var out StrategiesResponse
+	for _, s := range solve.Strategies() {
+		out.Strategies = append(out.Strategies, StrategyInfo{
+			Name:        strings.ToLower(s.String()),
+			Description: s.Description(),
+		})
+	}
+	return out
+}
+
+// summarizeFront projects a dse front onto its wire form, including
+// the per-point configuration encodings.
+func summarizeFront(front []dse.Point) ([]FrontPoint, error) {
+	out := make([]FrontPoint, 0, len(front))
+	for _, p := range front {
+		cfgJSON, err := encodeConfig(p.Config)
+		if err != nil {
+			return nil, err
+		}
+		o := p.Objectives()
+		out = append(out, FrontPoint{
+			Delta:       o.Delta,
+			Buffers:     o.Buffers,
+			Bandwidth:   o.Bandwidth,
+			Schedulable: p.Schedulable(),
+			Config:      cfgJSON,
+		})
+	}
+	return out, nil
 }
 
 // encodeConfig renders a configuration in the stable Save encoding.

@@ -8,10 +8,12 @@ import "repro/internal/model"
 // apart) but the stream as a whole is still delivered one event at a
 // time.
 type Progress struct {
-	// Strategy is the strategy being run.
+	// Strategy is the strategy being run (Explore for Solver.Explore,
+	// including its OS/OR warm-start phases).
 	Strategy Strategy
 	// Phase is the algorithm stage: "sf", "os" (slot search), "or"
-	// (hill climbing) or "sa" (annealing).
+	// (hill climbing), "sa" (annealing) or "dse" (design-space
+	// exploration generations).
 	Phase string
 	// Chain is the annealing chain index (0 outside "sa").
 	Chain int
@@ -23,10 +25,16 @@ type Progress struct {
 	// this phase (per chain for "sa").
 	Evaluations int
 	// BestDelta, BestBuffers and Schedulable describe the incumbent
-	// solution (of the emitting chain for "sa").
+	// solution (of the emitting chain for "sa"). A Pareto exploration
+	// has no single incumbent, so "dse" events leave them zero and
+	// report FrontSize/Hypervolume instead.
 	BestDelta   model.Time
 	BestBuffers int
 	Schedulable bool
+	// FrontSize and Hypervolume describe the archive of a "dse" phase
+	// (zero elsewhere).
+	FrontSize   int
+	Hypervolume float64
 }
 
 // Observer receives synthesis progress events. Implementations must be

@@ -23,9 +23,17 @@ const (
 	SAS
 	// SAR is the simulated-annealing baseline for the buffer need.
 	SAR
+	// Explore is the multi-objective design-space exploration (package
+	// dse): it labels the progress stream of Solver.Explore and is not a
+	// Synthesize strategy (an exploration returns a Pareto front, not a
+	// single configuration), so Strategies and ParseStrategy exclude it.
+	Explore
 )
 
-// Strategies lists every synthesis strategy, in declaration order.
+// Strategies lists every synthesis strategy — the algorithms
+// Synthesize accepts, each returning a single configuration — in
+// declaration order. Wire clients list them via GET /v1/strategies and
+// mcs-synth -h instead of hardcoding the names.
 func Strategies() []Strategy {
 	return []Strategy{Straightforward, OptimizeSchedule, OptimizeResources, SAS, SAR}
 }
@@ -44,8 +52,30 @@ func (s Strategy) String() string {
 		return "SAS"
 	case SAR:
 		return "SAR"
+	case Explore:
+		return "DSE"
 	}
 	return fmt.Sprintf("Strategy(%d)", int(s))
+}
+
+// Description is the one-line human summary of a strategy, shared by
+// the GET /v1/strategies endpoint and the CLI usage screens.
+func (s Strategy) Description() string {
+	switch s {
+	case Straightforward:
+		return "straightforward baseline: ascending slot order, minimal slot lengths, declaration-order priorities"
+	case OptimizeSchedule:
+		return "greedy slot search maximizing the degree of schedulability (Fig. 8)"
+	case OptimizeResources:
+		return "OS followed by hill climbing minimizing the total buffer need (Fig. 7)"
+	case SAS:
+		return "simulated-annealing baseline for the degree of schedulability"
+	case SAR:
+		return "simulated-annealing baseline for the total buffer need"
+	case Explore:
+		return "multi-objective design-space exploration returning a Pareto front"
+	}
+	return ""
 }
 
 // ParseStrategy maps the paper's algorithm names (sf, os, or, sas, sar;

@@ -1,0 +1,78 @@
+package repro_test
+
+import (
+	"context"
+	"testing"
+
+	"repro"
+)
+
+// TestCorpusProperties is the cross-strategy property test over the
+// seeded scenario corpus (the same sweep `mcs-gen -n` writes to disk):
+// for every member,
+//
+//  1. OptimizeSchedule never returns a worse degree of schedulability
+//     than the SF baseline — the Fig. 8 greedy evaluates the SF-shaped
+//     starting round among its candidates, so delta can only improve;
+//  2. every point of a DSE front is mutually non-dominated, and the
+//     front weakly dominates the single-objective OS result — the
+//     archive invariants the explorer's correctness rests on.
+//
+// The corpus spans node counts, utilization targets and WCET
+// distributions, so a regression in either property reproduces from a
+// spec index alone.
+func TestCorpusProperties(t *testing.T) {
+	for i, spec := range repro.Corpus(6, 400, 6) {
+		sys, err := repro.Generate(spec)
+		if err != nil {
+			t.Fatalf("corpus member %d: %v", i, err)
+		}
+		solver, err := repro.NewSolver(sys.Application, sys.Architecture,
+			repro.WithWorkers(2), repro.WithSeed(spec.Seed))
+		if err != nil {
+			t.Fatal(err)
+		}
+		ctx := context.Background()
+
+		sf, err := solver.SynthesizeWith(ctx, repro.StrategyStraightforward)
+		if err != nil {
+			t.Fatalf("corpus member %d: SF: %v", i, err)
+		}
+		osres, err := solver.SynthesizeWith(ctx, repro.StrategyOptimizeSchedule)
+		if err != nil {
+			t.Fatalf("corpus member %d: OS: %v", i, err)
+		}
+		if osres.Analysis.Delta > sf.Analysis.Delta {
+			t.Errorf("corpus member %d (seed %d): OS delta %d worse than SF delta %d",
+				i, spec.Seed, osres.Analysis.Delta, sf.Analysis.Delta)
+		}
+
+		front, err := solver.Explore(ctx, repro.WithPopulation(6), repro.WithGenerations(2))
+		if err != nil {
+			t.Fatalf("corpus member %d: Explore: %v", i, err)
+		}
+		if len(front.Front) == 0 {
+			t.Fatalf("corpus member %d: empty front", i)
+		}
+		for a, p := range front.Front {
+			for b, q := range front.Front {
+				if a != b && p.Objectives().WeaklyDominates(q.Objectives()) {
+					t.Errorf("corpus member %d: front[%d] %v weakly dominates front[%d] %v",
+						i, a, p.Objectives(), b, q.Objectives())
+				}
+			}
+		}
+		osPoint := repro.ParetoPoint{Config: osres.Config, Analysis: osres.Analysis}
+		dominated := false
+		for _, p := range front.Front {
+			if p.Objectives().WeaklyDominates(osPoint.Objectives()) {
+				dominated = true
+				break
+			}
+		}
+		if !dominated {
+			t.Errorf("corpus member %d: no front point weakly dominates the OS result %v",
+				i, osPoint.Objectives())
+		}
+	}
+}

@@ -102,6 +102,15 @@ func NewTwoClusterArchitecture(spec ArchSpec) (*Architecture, error) {
 // workload parameters.
 func Generate(spec GenSpec) (*System, error) { return gen.Generate(spec) }
 
+// Corpus returns n deterministic generator specs spanning the
+// evaluation space (node counts, CPU/bus utilization targets,
+// inter-cluster ratios, WCET distributions). Spec i uses seed base+i;
+// procsPerNode <= 0 selects the paper's 40. The corpus backs
+// `mcs-gen -n`, the DSE benchmarks and the property tests.
+func Corpus(n int, base int64, procsPerNode int) []GenSpec {
+	return gen.Corpus(n, base, procsPerNode)
+}
+
 // CruiseController builds the §6 vehicle cruise-controller case study
 // (40 processes, 2 TT + 2 ET nodes, 250 ms deadline).
 func CruiseController() (*System, error) { return cruise.System() }

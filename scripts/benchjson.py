@@ -7,12 +7,18 @@ comparison section so the artifact directly answers "what does the
 cached Solver session buy over cold starts", and every benchmark also
 carries requests_per_sec (1e9 / ns_per_op) so service artifacts
 (BENCH_service.json) directly report throughput.
+
+Custom metrics emitted via testing.B.ReportMetric (e.g. the DSE
+benchmarks' front_size, hypervolume and evaluations) are collected
+verbatim, so BENCH_dse.json reports the front quality next to the
+wall-clock per worker count.
 """
 import json
 import re
 import sys
 
-BENCH = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op")
+BENCH = re.compile(r"^(Benchmark\S+?)(?:-\d+)?\s+(\d+)\s+([\d.]+) ns/op(.*)$")
+METRIC = re.compile(r"([\d.eE+-]+) ([\w/]+)")
 
 
 def main() -> int:
@@ -20,13 +26,17 @@ def main() -> int:
     results = {}
     for line in sys.stdin:
         m = BENCH.match(line)
-        if m:
-            ns = float(m.group(3))
-            results[m.group(1)] = {
-                "iterations": int(m.group(2)),
-                "ns_per_op": ns,
-                "requests_per_sec": round(1e9 / ns, 3) if ns else None,
-            }
+        if not m:
+            continue
+        ns = float(m.group(3))
+        entry = {
+            "iterations": int(m.group(2)),
+            "ns_per_op": ns,
+            "requests_per_sec": round(1e9 / ns, 3) if ns else None,
+        }
+        for value, unit in METRIC.findall(m.group(4)):
+            entry[unit.replace("/", "_per_")] = float(value)
+        results[m.group(1)] = entry
     comparisons = {}
     for name, cold in results.items():
         if not name.endswith("Cold"):

@@ -14,6 +14,7 @@ trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 echo "== build (race) =="
 go build -race -o "$WORKDIR/mcs-serve" ./cmd/mcs-serve
 go build -o "$WORKDIR/mcs-gen" ./cmd/mcs-gen
+go build -race -o "$WORKDIR/mcs-dse" ./cmd/mcs-dse
 
 echo "== start =="
 "$WORKDIR/mcs-serve" -addr "127.0.0.1:$PORT" -workers 2 -job-workers 2 &
@@ -65,6 +66,53 @@ echo "$EVENTS" | grep -q "^event: done" || { echo "no done event on SSE stream" 
 echo "== analyze =="
 jq '{system: .}' "$WORKDIR/sys.json" | curl -fsS -d @- "$BASE/v1/analyze" \
   | jq -e '.results[0].analysis | has("buffersTotal")' >/dev/null
+
+echo "== strategies =="
+STRATS="$(curl -fsS "$BASE/v1/strategies")"
+echo "$STRATS" | jq -e '.strategies | length >= 5' >/dev/null
+echo "$STRATS" | jq -re '.strategies[].name' | grep -qx "sas" \
+  || { echo "strategy listing misses sas: $STRATS" >&2; exit 1; }
+
+echo "== explore (Pareto front job) =="
+jq '{system: ., population: 6, generations: 2, seed: 5}' "$WORKDIR/sys.json" >"$WORKDIR/dsereq.json"
+DSUB="$(curl -fsS -d @"$WORKDIR/dsereq.json" "$BASE/v1/explore")"
+DID="$(echo "$DSUB" | jq -re .id)"
+echo "$DSUB" | jq -e '.kind == "explore"' >/dev/null
+for _ in $(seq 1 300); do
+  DST="$(curl -fsS "$BASE/v1/jobs/$DID")"
+  DSTATE="$(echo "$DST" | jq -re .state)"
+  [ "$DSTATE" = "done" ] && break
+  [ "$DSTATE" = "failed" ] && { echo "explore job failed: $DST" >&2; exit 1; }
+  sleep 0.2
+done
+[ "$DSTATE" = "done" ] || { echo "explore job stuck in state $DSTATE" >&2; exit 1; }
+echo "$DST" | jq -e '.result.front | length > 0' >/dev/null
+echo "$DST" | jq -e '.result.front[0].config.round.slots | length > 0' >/dev/null
+echo "explore front: $(echo "$DST" | jq -c '[.result.front[] | {delta, buffers, bandwidth}]')"
+
+echo "== explore cancel keeps partial front =="
+jq '{system: ., population: 8, generations: 1000000, seed: 5}' "$WORKDIR/sys.json" >"$WORKDIR/dselong.json"
+LID="$(curl -fsS -d @"$WORKDIR/dselong.json" "$BASE/v1/explore" | jq -re .id)"
+# Wait for the first progress event so the job is provably running.
+curl -fsS -N --max-time 30 "$BASE/v1/jobs/$LID/events" | head -2 >/dev/null || true
+curl -fsS -X DELETE "$BASE/v1/jobs/$LID" >/dev/null
+for _ in $(seq 1 300); do
+  LST="$(curl -fsS "$BASE/v1/jobs/$LID")"
+  LSTATE="$(echo "$LST" | jq -re .state)"
+  [ "$LSTATE" = "canceled" ] && break
+  sleep 0.2
+done
+[ "$LSTATE" = "canceled" ] || { echo "canceled explore job stuck in state $LSTATE" >&2; exit 1; }
+echo "$LST" | jq -e '.result.partial == true' >/dev/null
+echo "$LST" | jq -e '.result.front | length > 0' >/dev/null
+
+echo "== mcs-dse CLI =="
+"$WORKDIR/mcs-dse" -in "$WORKDIR/sys.json" -population 6 -generations 2 -workers 2 \
+  -out "$WORKDIR/front.csv" -json "$WORKDIR/front.json" >/dev/null
+head -1 "$WORKDIR/front.csv" | grep -qx "delta,s_total,bus_bandwidth,schedulable" \
+  || { echo "front.csv header wrong" >&2; exit 1; }
+[ "$(wc -l < "$WORKDIR/front.csv")" -ge 2 ] || { echo "front.csv has no data rows" >&2; exit 1; }
+jq -e 'length > 0 and .[0].config.round.slots' "$WORKDIR/front.json" >/dev/null
 
 echo "== drain (SIGTERM) =="
 kill -TERM "$SERVE_PID"

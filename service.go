@@ -19,6 +19,18 @@ type (
 	ServiceOptions = service.Options
 	// SynthesisRequest asks for an asynchronous configuration synthesis.
 	SynthesisRequest = service.SynthesisRequest
+	// ExploreRequest asks for an asynchronous design-space exploration
+	// (POST /v1/explore); the job result carries a Pareto front of
+	// FrontPoint instead of a single configuration.
+	ExploreRequest = service.ExploreRequest
+	// FrontPoint is the wire form of one Pareto-front point.
+	FrontPoint = service.FrontPoint
+	// JobKind distinguishes synthesize and explore jobs.
+	JobKind = service.JobKind
+	// StrategiesResponse / StrategyInfo answer GET /v1/strategies, the
+	// machine-readable synthesis strategy listing.
+	StrategiesResponse = service.StrategiesResponse
+	StrategyInfo       = service.StrategyInfo
 	// SubmitResponse acknowledges an accepted job with its poll URLs.
 	SubmitResponse = service.SubmitResponse
 	// JobStatus / JobResult / JobState describe a job's lifecycle; the
@@ -46,6 +58,16 @@ const (
 	JobCanceled = service.StateCanceled
 	JobFailed   = service.StateFailed
 )
+
+// Job kinds sharing the service queue.
+const (
+	JobKindSynthesize = service.KindSynthesize
+	JobKindExplore    = service.KindExplore
+)
+
+// ListStrategies builds the GET /v1/strategies listing from
+// Strategies(), so wire clients never hardcode strategy names.
+func ListStrategies() StrategiesResponse { return service.ListStrategies() }
 
 // Service submission errors.
 var (
