@@ -37,6 +37,7 @@ func main() {
 		cruiseFl    = flag.Bool("cruise", false, "use the built-in cruise-controller case study")
 		seed        = flag.Int64("seed", 1, "exploration seed (the front is identical for every -workers value)")
 		workers     = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers (1 = serial; results are identical)")
+		useDelta    = flag.Bool("delta", true, "use the incremental delta-evaluation engine (the front is identical either way)")
 		population  = flag.Int("population", 0, "NSGA-II population size (0 = default 16)")
 		generations = flag.Int("generations", 0, "exploration generations (0 = default 12)")
 		moveBudget  = flag.Int("move-budget", 0, "design transformations sampled per mutation (0 = default 16)")
@@ -53,7 +54,7 @@ func main() {
 	if err != nil {
 		cli.Fatal(tool, err)
 	}
-	opts := []repro.Option{repro.WithSeed(*seed), repro.WithWorkers(*workers)}
+	opts := []repro.Option{repro.WithSeed(*seed), repro.WithWorkers(*workers), repro.WithDelta(*useDelta)}
 	if *verbose {
 		opts = append(opts, repro.WithObserver(repro.ObserverFunc(func(p repro.Progress) {
 			if p.Phase == "dse" {

@@ -50,6 +50,7 @@ func main() {
 		saRestarts = flag.Int("sa-restarts", 1, "independent annealing chains for sas/sar (best-ever wins)")
 		seed       = flag.Int64("seed", 1, "seed for the randomized strategies")
 		workers    = flag.Int("workers", runtime.NumCPU(), "parallel evaluation workers (1 = serial; results are identical)")
+		useDelta   = flag.Bool("delta", true, "use the incremental delta-evaluation engine (results are identical either way)")
 		verbose    = flag.Bool("v", false, "stream live progress and print per-process response times")
 		tables     = flag.Bool("tables", false, "print the synthesized schedule tables and the MEDL")
 		saveCfg    = flag.String("save-config", "", "write the synthesized configuration (round, priorities, pins) as JSON")
@@ -80,6 +81,7 @@ func main() {
 		repro.WithSARestarts(*saRestarts),
 		repro.WithSeed(*seed),
 		repro.WithWorkers(*workers),
+		repro.WithDelta(*useDelta),
 	}
 	if *verbose {
 		opts = append(opts, repro.WithObserver(repro.ObserverFunc(func(p repro.Progress) {

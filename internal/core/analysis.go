@@ -104,6 +104,13 @@ type AnalyzeOptions struct {
 	// critical-instant analysis). Used by the ablation experiments to
 	// quantify the value of the paper's offset refinement.
 	OffsetBlind bool
+	// Memo, when non-nil, serves the analysis stages (static schedule,
+	// per-resource RTA fixed points, OutTTP queue) through exact-input
+	// caches shared across configurations (see Memo). Results are
+	// bit-identical to Memo == nil; the nil path remains the reference
+	// implementation. One Memo must only ever see one (app, arch) pair
+	// and one OffsetBlind setting — internal/delta enforces this.
+	Memo *Memo
 }
 
 // Analyze runs MultiClusterScheduling (Fig. 5): starting from a static
@@ -147,12 +154,17 @@ func AnalyzeWith(app *model.Application, arch *model.Architecture, cfg *Config, 
 	converged := false
 	for iterations < maxMCSIterations {
 		iterations++
-		sched, err = tsched.Build(tsched.Input{
+		in := tsched.Input{
 			App: app, Arch: arch, Round: cfg.Round,
 			ReleaseOffset: release,
 			PinnedProc:    cfg.PinnedProc,
 			PinnedEdge:    cfg.PinnedEdge,
-		})
+		}
+		if aopts.Memo != nil {
+			sched, err = aopts.Memo.buildSchedule(in)
+		} else {
+			sched, err = tsched.Build(in)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -238,6 +250,7 @@ type etState struct {
 	edge        map[model.EdgeID]EdgeResult
 	converged   bool
 	offsetBlind bool
+	memo        *Memo
 }
 
 // analyzeET runs the holistic inner loop: offsets are fixed by the
@@ -249,6 +262,7 @@ func analyzeET(app *model.Application, arch *model.Architecture, cfg *Config, sc
 		edge:        make(map[model.EdgeID]EdgeResult, len(app.Edges)),
 		converged:   true,
 		offsetBlind: aopts.OffsetBlind,
+		memo:        aopts.Memo,
 	}
 	rT := arch.GatewayCost
 	poll := arch.GatewayPoll
@@ -412,7 +426,19 @@ func (st *etState) runRTA(app *model.Application, arch *model.Architecture, cfg 
 			tasks[i].B = rta.MaxLowerC(tasks, i)
 		}
 	}
-	res, err := rta.Analyze(tasks, rta.Options{Horizon: horizon})
+	var (
+		res []rta.Result
+		err error
+	)
+	if st.memo != nil {
+		// Per-resource memoized path: bit-identical to the monolithic
+		// call because interference never crosses resources and the memo
+		// reapplies the all-unconverged marking of an exhausted pass
+		// budget globally (see Memo.analyzeRTA).
+		res, _, err = st.memo.analyzeRTA(tasks, horizon)
+	} else {
+		res, err = rta.Analyze(tasks, rta.Options{Horizon: horizon})
+	}
 	if err != nil {
 		st.converged = false
 		return false
@@ -449,10 +475,19 @@ func (st *etState) runQueue(app *model.Application, arch *model.Architecture, cf
 		return false
 	}
 	slot := cfg.Round.SlotIndexOf(arch.Gateway)
-	res, err := gateway.AnalyzeOutTTP(msgs, gateway.TTPQueueParams{
+	params := gateway.TTPQueueParams{
 		Round: cfg.Round, GatewaySlot: slot,
 		TickPerByte: arch.TTP.TickPerByte, Horizon: horizon,
-	})
+	}
+	var (
+		res []gateway.TTPResult
+		err error
+	)
+	if st.memo != nil {
+		res, err = st.memo.analyzeQueue(msgs, params)
+	} else {
+		res, err = gateway.AnalyzeOutTTP(msgs, params)
+	}
 	if err != nil {
 		st.converged = false
 		return false

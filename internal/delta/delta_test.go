@@ -1,0 +1,364 @@
+package delta
+
+import (
+	"context"
+	"math/rand"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/model"
+	"repro/internal/opt"
+	"repro/internal/rta"
+)
+
+// selfCheck arms the RTA warm-start proof-of-equivalence for the
+// duration of a test: every warm-started fixed point is recomputed cold
+// and must agree exactly.
+func selfCheck(t *testing.T) {
+	t.Helper()
+	rta.SelfCheck = true
+	t.Cleanup(func() { rta.SelfCheck = false })
+}
+
+// corpusSystem materializes corpus member i of a small test corpus.
+func corpusSystem(t testing.TB, i int) (*model.Application, *model.Architecture) {
+	t.Helper()
+	specs := gen.Corpus(i+1, 900, 4)
+	sys, err := gen.Generate(specs[i])
+	if err != nil {
+		t.Fatalf("corpus member %d: %v", i, err)
+	}
+	return sys.Application, sys.Architecture
+}
+
+// walkConfigs derives a deterministic chain of configurations from the
+// normalized default by applying sampled §5.1 moves, re-analyzing after
+// each step (the shape every optimizer's traffic has).
+func walkConfigs(t testing.TB, app *model.Application, arch *model.Architecture, steps int, seed int64) []*core.Config {
+	t.Helper()
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatal(err)
+	}
+	a, err := core.Analyze(app, arch, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(seed))
+	out := []*core.Config{cfg}
+	for len(out) < steps {
+		moves := opt.GenerateMoves(app, arch, cfg, a, opt.MoveBudget{Max: 16, Rand: rng})
+		if len(moves) == 0 {
+			break
+		}
+		next, err := moves[rng.Intn(len(moves))].Apply(app, arch, cfg)
+		if err != nil {
+			continue
+		}
+		na, err := core.Analyze(app, arch, next)
+		if err != nil {
+			continue
+		}
+		cfg, a = next, na
+		out = append(out, cfg)
+	}
+	return out
+}
+
+// TestAnalyzeMatchesCold is the package-level bit-identity check: over
+// corpus systems and optimizer-shaped move walks, every Evaluator
+// analysis — cold-miss, warm-started and memo-hit alike — must deep-
+// equal the reference core.Analyze result, with the RTA self-check
+// armed so warm starts prove themselves per fixed point.
+func TestAnalyzeMatchesCold(t *testing.T) {
+	selfCheck(t)
+	for i := 0; i < 3; i++ {
+		app, arch := corpusSystem(t, i)
+		ev := New(app, arch)
+		for step, cfg := range walkConfigs(t, app, arch, 8, int64(100+i)) {
+			want, err := core.Analyze(app, arch, cfg)
+			if err != nil {
+				t.Fatalf("system %d step %d: cold: %v", i, step, err)
+			}
+			got, err := ev.Analyze(cfg)
+			if err != nil {
+				t.Fatalf("system %d step %d: delta: %v", i, step, err)
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("system %d step %d: delta analysis differs from cold", i, step)
+			}
+			// Replay: the memo hit must return the identical analysis.
+			again, err := ev.Analyze(cfg)
+			if err != nil {
+				t.Fatalf("system %d step %d: replay: %v", i, step, err)
+			}
+			if again != got {
+				t.Fatalf("system %d step %d: replay did not hit the config memo", i, step)
+			}
+		}
+		s := ev.Stats()
+		if s.ConfigHits == 0 || s.ConfigMisses == 0 {
+			t.Fatalf("system %d: degenerate traffic: %v", i, s)
+		}
+	}
+}
+
+// TestConfigKey checks the canonical encoding: clones collide, every
+// single-field perturbation separates.
+func TestConfigKey(t *testing.T) {
+	app, arch := corpusSystem(t, 0)
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatal(err)
+	}
+	base := ConfigKey(cfg)
+	if got := ConfigKey(cfg.Clone()); got != base {
+		t.Fatal("clone keys differ")
+	}
+
+	perturb := map[string]func(c *core.Config) *core.Config{
+		"slot length": func(c *core.Config) *core.Config { c.Round.Slots[0].Length += 4; return c },
+		"slot owner": func(c *core.Config) *core.Config {
+			c.Round.Slots[0].Node, c.Round.Slots[1].Node = c.Round.Slots[1].Node, c.Round.Slots[0].Node
+			return c
+		},
+		"padding": func(c *core.Config) *core.Config { c.Round.Padding += 4; return c },
+		"proc priority": func(c *core.Config) *core.Config {
+			for id := range c.ProcPriority {
+				c.ProcPriority[id] += 1000
+				break
+			}
+			return c
+		},
+		"msg priority": func(c *core.Config) *core.Config {
+			for id := range c.MsgPriority {
+				c.MsgPriority[id] += 1000
+				break
+			}
+			return c
+		},
+		"proc pin": func(c *core.Config) *core.Config { return c.PinProc(app.Procs[0].ID, 123) },
+	}
+	for name, mutate := range perturb {
+		if ConfigKey(mutate(cfg.Clone())) == base {
+			t.Errorf("%s perturbation did not change the key", name)
+		}
+	}
+}
+
+// TestTouchedMatrix pins the documented invalidation matrix (the table
+// in docs/ARCHITECTURE.md §8) move kind by move kind.
+func TestTouchedMatrix(t *testing.T) {
+	app, _ := corpusSystem(t, 0)
+	full := Touch{Schedules: true, Queues: true, CANBus: true, AllRTA: true}
+	cases := []struct {
+		move opt.Move
+		want Touch
+	}{
+		{opt.Move{Kind: opt.MoveSwapMsgPrio}, Touch{Queues: true, CANBus: true}},
+		{opt.Move{Kind: opt.MoveResizeSlot}, full},
+		{opt.Move{Kind: opt.MoveSwapSlots}, full},
+		{opt.Move{Kind: opt.MoveSetSlotLen}, full},
+		{opt.Move{Kind: opt.MovePinProc}, full},
+		{opt.Move{Kind: opt.MovePinEdge}, full},
+		{opt.Move{Kind: opt.MoveUnpinProc}, full},
+		{opt.Move{Kind: opt.MoveUnpinEdge}, full},
+		{opt.Move{Kind: opt.MoveKind(99)}, full},
+	}
+	for _, c := range cases {
+		if got := Touched(app, c.move); !reflect.DeepEqual(got, c.want) {
+			t.Errorf("Touched(%v) = %+v, want %+v", c.move.Kind, got, c.want)
+		}
+	}
+
+	// A priority swap touches exactly the processes' CPUs: one node for
+	// a same-CPU swap, both for a cross-CPU one, never the bus or the
+	// schedule.
+	var sameCPU, crossCPU bool
+	for i := range app.Procs {
+		for j := range app.Procs {
+			if i == j {
+				continue
+			}
+			m := opt.Move{Kind: opt.MoveSwapProcPrio, Proc: app.Procs[i].ID, Proc2: app.Procs[j].ID}
+			tc := Touched(app, m)
+			if tc.Schedules || tc.Queues || tc.CANBus || tc.AllRTA {
+				t.Fatalf("proc swap %v touches non-CPU state: %+v", m, tc)
+			}
+			if app.Procs[i].Node == app.Procs[j].Node {
+				sameCPU = true
+				if len(tc.Nodes) != 1 || tc.Nodes[0] != app.Procs[i].Node {
+					t.Fatalf("same-CPU swap nodes = %v", tc.Nodes)
+				}
+			} else {
+				crossCPU = true
+				if len(tc.Nodes) != 2 {
+					t.Fatalf("cross-CPU swap nodes = %v", tc.Nodes)
+				}
+			}
+		}
+	}
+	if !sameCPU || !crossCPU {
+		t.Fatal("corpus system exercised only one swap shape")
+	}
+}
+
+// TestInvalidateIsAdvisory: evicting along the Touched matrix between
+// analyses never changes a result — invalidation is a memory hint, the
+// exact keys carry correctness.
+func TestInvalidateIsAdvisory(t *testing.T) {
+	selfCheck(t)
+	app, arch := corpusSystem(t, 1)
+	ev := New(app, arch)
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatal(err)
+	}
+	a, err := ev.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rng := rand.New(rand.NewSource(7))
+	cur, curA := cfg, a
+	for step := 0; step < 6; step++ {
+		moves := opt.GenerateMoves(app, arch, cur, curA, opt.MoveBudget{Max: 12, Rand: rng})
+		if len(moves) == 0 {
+			break
+		}
+		m := moves[rng.Intn(len(moves))]
+		next, err := m.Apply(app, arch, cur)
+		if err != nil {
+			continue
+		}
+		ev.Evict(next)   // drop any full-config entry,
+		ev.Invalidate(m) // then evict the stage state the move touches
+		got, err := ev.Analyze(next)
+		if err != nil {
+			continue
+		}
+		want, err := core.Analyze(app, arch, next)
+		if err != nil {
+			t.Fatalf("step %d: cold: %v", step, err)
+		}
+		if !reflect.DeepEqual(got, want) {
+			t.Fatalf("step %d: analysis after Invalidate(%v) differs from cold", step, m)
+		}
+		cur, curA = next, got
+	}
+}
+
+// TestOSScanDeltaProperty is the satellite property test: over an
+// OptimizeSchedule scan, the delta evaluator's caches must actually
+// hit (hit rate > 0) while the reported result — the Evaluations
+// counter included — stays exactly the full-path one.
+func TestOSScanDeltaProperty(t *testing.T) {
+	ctx := context.Background()
+	for i := 0; i < 2; i++ {
+		app, arch := corpusSystem(t, i)
+
+		cold, err := opt.OptimizeSchedule(ctx, app, arch, opt.OSOptions{})
+		if err != nil {
+			t.Fatalf("system %d: cold OS: %v", i, err)
+		}
+		ev := New(app, arch)
+		warm, err := opt.OptimizeSchedule(ctx, app, arch, opt.OSOptions{Hooks: opt.Hooks{Eval: ev.Analyze}})
+		if err != nil {
+			t.Fatalf("system %d: delta OS: %v", i, err)
+		}
+
+		if warm.Evaluations != cold.Evaluations {
+			t.Errorf("system %d: Evaluations %d with delta, %d without", i, warm.Evaluations, cold.Evaluations)
+		}
+		if !reflect.DeepEqual(warm.Best, cold.Best) {
+			t.Errorf("system %d: OS best differs under delta evaluation", i)
+		}
+		if !reflect.DeepEqual(warm.Seeds, cold.Seeds) {
+			t.Errorf("system %d: OS seeds differ under delta evaluation", i)
+		}
+
+		s := ev.Stats()
+		if s.ConfigHits+s.Memo.Hits() == 0 {
+			t.Errorf("system %d: delta cache never hit over the OS scan: %v", i, s)
+		}
+		if s.HitRate() < 0 || s.HitRate() > 1 || s.StageHitRate() < 0 || s.StageHitRate() > 1 {
+			t.Errorf("system %d: hit rates out of range: %v", i, s)
+		}
+	}
+}
+
+// TestEvaluatorConcurrent drives one Evaluator from a parallel pool the
+// way engine.EvaluateAllDelta does; run under -race this is the
+// evaluator's data-race coverage.
+func TestEvaluatorConcurrent(t *testing.T) {
+	app, arch := corpusSystem(t, 2)
+	ev := New(app, arch)
+	cfgs := walkConfigs(t, app, arch, 6, 55)
+	want := make([]*core.Analysis, len(cfgs))
+	for i, cfg := range cfgs {
+		a, err := core.Analyze(app, arch, cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		want[i] = a
+	}
+	done := make(chan error, 4)
+	for w := 0; w < 4; w++ {
+		go func() {
+			for rep := 0; rep < 3; rep++ {
+				for i, cfg := range cfgs {
+					a, err := ev.Analyze(cfg)
+					if err != nil {
+						done <- err
+						return
+					}
+					if !reflect.DeepEqual(a, want[i]) {
+						t.Errorf("concurrent analysis %d differs from cold", i)
+					}
+				}
+			}
+			done <- nil
+		}()
+	}
+	for w := 0; w < 4; w++ {
+		if err := <-done; err != nil {
+			t.Fatal(err)
+		}
+	}
+	if s := ev.Stats(); s.ConfigHits == 0 {
+		t.Errorf("no config hits under concurrent replay: %v", s)
+	}
+}
+
+// TestResetAndStats: Reset drops every layer; analysis afterwards still
+// matches cold and the counters keep accumulating.
+func TestResetAndStats(t *testing.T) {
+	app, arch := corpusSystem(t, 0)
+	ev := New(app, arch)
+	cfg := core.DefaultConfig(app, arch)
+	if err := cfg.Normalize(app); err != nil {
+		t.Fatal(err)
+	}
+	want, err := ev.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ev.Reset()
+	got, err := ev.Analyze(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got == want {
+		t.Fatal("Reset kept the cached analysis pointer")
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatal("post-Reset analysis differs")
+	}
+	if s := ev.Stats(); s.ConfigMisses < 2 {
+		t.Errorf("stats lost the pre-Reset traffic: %v", s)
+	}
+	if testing.Verbose() {
+		t.Log(ev.Stats().String())
+	}
+}

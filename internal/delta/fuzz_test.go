@@ -1,0 +1,92 @@
+package delta
+
+import (
+	"bytes"
+	"reflect"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/gen"
+	"repro/internal/opt"
+	"repro/internal/rta"
+)
+
+// FuzzDeltaInvalidation replays fuzzer-chosen move sequences on corpus
+// systems through one long-lived Evaluator and cross-checks every step
+// against a cold core.AnalyzeWith. The fuzz input drives four choices
+// per step — which generated move to take, whether to evict the
+// config, whether to run the stage invalidation hint, and whether to
+// drop everything — so the fuzzer explores exactly the cache states a
+// real optimizer run can reach (and some it can't). Any divergence
+// from the cold path, or a warm-start mismatch caught by rta.SelfCheck,
+// fails the target.
+func FuzzDeltaInvalidation(f *testing.F) {
+	f.Add(int64(0), []byte{0, 1, 2, 3})
+	f.Add(int64(1), []byte{7, 7, 7, 7, 7, 7})
+	f.Add(int64(2), bytes.Repeat([]byte{0xff, 0x00, 0x81}, 6))
+	f.Add(int64(3), []byte{3, 1, 4, 1, 5, 9, 2, 6, 5, 3, 5, 8, 9, 7, 9, 3})
+
+	// The corpus systems are deterministic, so build them once: fuzzing
+	// re-enters the target millions of times.
+	systems := gen.Corpus(4, 700, 3)
+	rta.SelfCheck = true
+	defer func() { rta.SelfCheck = false }()
+
+	f.Fuzz(func(t *testing.T, sysSel int64, script []byte) {
+		spec := systems[int(uint64(sysSel)%uint64(len(systems)))]
+		sys, err := gen.Generate(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		app, arch := sys.Application, sys.Architecture
+		ev := New(app, arch)
+
+		cfg := core.DefaultConfig(app, arch)
+		if err := cfg.Normalize(app); err != nil {
+			t.Fatal(err)
+		}
+		a, err := ev.Analyze(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if want, err := core.Analyze(app, arch, cfg); err != nil || !reflect.DeepEqual(a, want) {
+			t.Fatalf("base analysis diverges from cold (err %v)", err)
+		}
+
+		steps := 0
+		for i := 0; i+1 < len(script) && steps < 12; i += 2 {
+			sel, flags := script[i], script[i+1]
+			moves := opt.GenerateMoves(app, arch, cfg, a, opt.MoveBudget{Max: 16})
+			if len(moves) == 0 {
+				break
+			}
+			m := moves[int(sel)%len(moves)]
+			next, err := m.Apply(app, arch, cfg)
+			if err != nil {
+				continue // move impossible on this config: pick on
+			}
+			if flags&1 != 0 {
+				ev.Evict(next)
+			}
+			if flags&2 != 0 {
+				ev.Invalidate(m)
+			}
+			if flags&4 != 0 {
+				ev.Reset()
+			}
+			got, gotErr := ev.Analyze(next)
+			want, wantErr := core.Analyze(app, arch, next)
+			if (gotErr == nil) != (wantErr == nil) {
+				t.Fatalf("step %d move %v: delta err %v, cold err %v", steps, m, gotErr, wantErr)
+			}
+			if gotErr != nil {
+				continue
+			}
+			if !reflect.DeepEqual(got, want) {
+				t.Fatalf("step %d move %v (flags %#x): delta analysis diverges from cold", steps, m, flags)
+			}
+			cfg, a = next, got
+			steps++
+		}
+	})
+}

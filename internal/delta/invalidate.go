@@ -1,0 +1,96 @@
+package delta
+
+import (
+	"repro/internal/model"
+	"repro/internal/opt"
+)
+
+// Touch describes the cached state a §5.1 move's primary effect makes
+// dead weight — the invalidation matrix of the incremental evaluator
+// (documented as a table in docs/ARCHITECTURE.md §8).
+//
+// Correctness never depends on it: every cache in the evaluator is
+// keyed by an exact encoding of its inputs, so a move simply steers
+// lookups to new keys and the old entries go stale by construction.
+// Touch exists to bound memory (Invalidate evicts along it) and to make
+// the coupling structure explicit and testable.
+//
+// Primary effects only: the MCS outer loop (Fig. 5) feeds ET->TT
+// deliveries back into the static schedule, so transitively every move
+// can perturb every stage. Those secondary entries age out or fall to
+// the caches' overflow clears.
+type Touch struct {
+	// Schedules: the static TTC schedule cache (tsched.Build results).
+	// Set by moves that change the round or the pins — the schedule of
+	// every release vector built from the old round/pins is dead.
+	Schedules bool
+	// Queues: the gateway OutTTP queue cache. Set by moves that change
+	// the round (drain slots shift), the message priorities (queue-ahead
+	// interference), or the TT-side timing (entry offsets).
+	Queues bool
+	// CANBus: the CAN bus resource's RTA fixed points. Set by message
+	// priority swaps and by moves coupled through the gateway.
+	CANBus bool
+	// Nodes: ET CPUs whose RTA fixed points the move touches directly
+	// (a process priority swap touches exactly its CPU).
+	Nodes []model.NodeID
+	// AllRTA: every resource's RTA fixed points — moves that shift the
+	// static schedule move the release offsets of all gateway-coupled
+	// clusters at once.
+	AllRTA bool
+}
+
+// Touched maps a move to the state it invalidates:
+//
+//	move kind            schedule  OutTTP queue  CAN bus RTA  CPU RTA
+//	swap-proc-prio       -         -             -            its node
+//	swap-msg-prio        -         yes           yes          -
+//	resize-slot          yes       yes           yes          all (gateway-coupled)
+//	swap-slots           yes       yes           yes          all (gateway-coupled)
+//	set-slot-length      yes       yes           yes          all (gateway-coupled)
+//	pin/unpin proc/edge  yes       yes           yes          all (gateway-coupled)
+func Touched(app *model.Application, m opt.Move) Touch {
+	switch m.Kind {
+	case opt.MoveSwapProcPrio:
+		t := Touch{Nodes: []model.NodeID{app.Procs[m.Proc].Node}}
+		if n2 := app.Procs[m.Proc2].Node; n2 != t.Nodes[0] {
+			t.Nodes = append(t.Nodes, n2)
+		}
+		return t
+	case opt.MoveSwapMsgPrio:
+		return Touch{Queues: true, CANBus: true}
+	case opt.MoveResizeSlot, opt.MoveSwapSlots, opt.MoveSetSlotLen:
+		return Touch{Schedules: true, Queues: true, CANBus: true, AllRTA: true}
+	case opt.MovePinProc, opt.MovePinEdge, opt.MoveUnpinProc, opt.MoveUnpinEdge:
+		return Touch{Schedules: true, Queues: true, CANBus: true, AllRTA: true}
+	}
+	// Unknown kinds: assume everything, the conservative hint.
+	return Touch{Schedules: true, Queues: true, CANBus: true, AllRTA: true}
+}
+
+// Invalidate evicts the stage-cache state Touched(m) names. It is a
+// memory-management hint: results are unaffected whether or not it is
+// called (see Touch).
+func (ev *Evaluator) Invalidate(m opt.Move) {
+	t := Touched(ev.app, m)
+	memo := ev.aopts.Memo
+	if t.Schedules {
+		memo.DropSchedules()
+	}
+	if t.Queues {
+		memo.DropQueues()
+	}
+	if t.AllRTA {
+		for _, n := range ev.arch.Nodes {
+			memo.DropRTAResource(int(n.ID))
+		}
+		memo.DropRTAResource(len(ev.arch.Nodes))
+		return
+	}
+	if t.CANBus {
+		memo.DropRTAResource(len(ev.arch.Nodes))
+	}
+	for _, n := range t.Nodes {
+		memo.DropRTAResource(int(n))
+	}
+}

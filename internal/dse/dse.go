@@ -75,6 +75,13 @@ type Options struct {
 	// starting template (the Solver injects its cached template); it
 	// must return a fresh un-normalized clone per call.
 	BaseConfig func() *core.Config
+	// Eval, when non-nil, replaces core.Analyze for every offspring
+	// analysis — the Solver injects its incremental delta evaluator
+	// here. The variation operators emit §5.1 moves (see mutate), so
+	// generations step through move-derived neighbours the evaluator
+	// can serve from its caches; fronts, hypervolumes and Evaluations
+	// counts are identical either way.
+	Eval opt.EvalFunc
 	// OnProgress, when non-nil, receives one event per generation,
 	// emitted from the serial reducing loop.
 	OnProgress func(Progress)
@@ -166,10 +173,14 @@ func Explore(ctx context.Context, app *model.Application, arch *model.Architectu
 	// become individuals, unanalyzable candidates are skipped, and a
 	// cancellation truncates the batch (stopped = true) keeping what
 	// finished.
+	eval := opts.Eval
+	if eval == nil {
+		eval = func(cfg *core.Config) (*core.Analysis, error) {
+			return core.Analyze(app, arch, cfg)
+		}
+	}
 	evalBatch := func(cfgs []*core.Config) (out []individual, stopped bool) {
-		evals, _ := engine.Map(ctx, pool, len(cfgs), func(_ context.Context, i int) (*core.Analysis, error) {
-			return core.Analyze(app, arch, cfgs[i])
-		})
+		evals, _ := engine.EvaluateAllWith(ctx, pool, engine.Analyzer(eval), cfgs)
 		for i, ev := range evals {
 			if ev.Err != nil {
 				if ctx.Err() != nil && errors.Is(ev.Err, ctx.Err()) {
@@ -178,7 +189,7 @@ func Explore(ctx context.Context, app *model.Application, arch *model.Architectu
 				continue // unanalyzable candidate: skip
 			}
 			res.Evaluations++
-			p := Point{Config: cfgs[i], Analysis: ev.Value}
+			p := Point{Config: cfgs[i], Analysis: ev.Analysis}
 			archive.Add(p)
 			out = append(out, individual{Point: p, obj: p.Objectives(), idx: nextIdx})
 			nextIdx++

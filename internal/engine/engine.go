@@ -138,17 +138,59 @@ type Evaluation struct {
 // failed).
 func (e *Evaluation) Schedulable() bool { return e.Err == nil && e.Analysis.Schedulable }
 
+// Analyzer evaluates one configuration (application and architecture
+// are captured by the closure). core.Analyze partially applied is the
+// cold implementation; delta.(*Evaluator).Analyze is the incremental
+// one. Analyzers must be safe for concurrent use and must return
+// identical results for identical configurations, so batches stay
+// worker-count independent.
+type Analyzer func(cfg *core.Config) (*core.Analysis, error)
+
 // EvaluateAll analyzes every candidate configuration across the pool
 // and returns the evaluations in candidate order. app and arch are
 // shared read-only; each configuration must be an independent value (as
 // produced by Config.Clone or Move.Apply).
 func EvaluateAll(ctx context.Context, p *Pool, app *model.Application, arch *model.Architecture, cfgs []*core.Config) ([]Evaluation, error) {
+	return EvaluateAllWith(ctx, p, func(cfg *core.Config) (*core.Analysis, error) {
+		return core.Analyze(app, arch, cfg)
+	}, cfgs)
+}
+
+// EvaluateAllWith is EvaluateAll through an explicit Analyzer, so
+// long-lived sessions can route batches through their incremental
+// evaluator.
+func EvaluateAllWith(ctx context.Context, p *Pool, az Analyzer, cfgs []*core.Config) ([]Evaluation, error) {
 	results, err := Map(ctx, p, len(cfgs), func(_ context.Context, i int) (*core.Analysis, error) {
-		return core.Analyze(app, arch, cfgs[i])
+		return az(cfgs[i])
 	})
 	out := make([]Evaluation, len(cfgs))
 	for i, r := range results {
 		out[i] = Evaluation{Config: cfgs[i], Analysis: r.Value, Err: r.Err}
+	}
+	return out, err
+}
+
+// EvaluateAllDelta is the batch API of the incremental evaluator: n
+// candidates, each derived from the shared parent configuration by the
+// derive callback (typically applying one typed opt.Move), are analyzed
+// across the pool in index order. A derivation error (a structurally
+// impossible move) is captured in that item's Evaluation with a nil
+// Config, never failing the batch; callers skip those items exactly
+// like a serial loop would. derive must be pure: it runs concurrently
+// and must not mutate parent.
+func EvaluateAllDelta(ctx context.Context, p *Pool, az Analyzer, parent *core.Config, n int,
+	derive func(i int, parent *core.Config) (*core.Config, error)) ([]Evaluation, error) {
+	out := make([]Evaluation, n)
+	results, err := Map(ctx, p, n, func(_ context.Context, i int) (*core.Analysis, error) {
+		cfg, derr := derive(i, parent)
+		if derr != nil {
+			return nil, derr
+		}
+		out[i].Config = cfg
+		return az(cfg)
+	})
+	for i, r := range results {
+		out[i].Analysis, out[i].Err = r.Value, r.Err
 	}
 	return out, err
 }

@@ -43,8 +43,23 @@ const DefaultIterations = 4
 // modified; it only parameterizes the analysis. iterations <= 0 selects
 // DefaultIterations.
 func Assign(app *model.Application, arch *model.Architecture, round ttp.Round, iterations int) (*Result, error) {
+	return AssignWith(app, arch, round, iterations, nil)
+}
+
+// AssignWith is Assign through an explicit analysis function (nil falls
+// back to core.Analyze). Sessions route the redistribution loop's
+// analyses through their incremental evaluator this way; Evaluations
+// still counts every analysis the loop requests, whether or not the
+// evaluator served it from cache, so reports stay comparable.
+func AssignWith(app *model.Application, arch *model.Architecture, round ttp.Round, iterations int,
+	eval func(*core.Config) (*core.Analysis, error)) (*Result, error) {
 	if iterations <= 0 {
 		iterations = DefaultIterations
+	}
+	if eval == nil {
+		eval = func(cfg *core.Config) (*core.Analysis, error) {
+			return core.Analyze(app, arch, cfg)
+		}
 	}
 	ld, err := initialLocalDeadlines(app, arch, round)
 	if err != nil {
@@ -57,7 +72,7 @@ func Assign(app *model.Application, arch *model.Architecture, round ttp.Round, i
 		if err := cfg.Normalize(app); err != nil {
 			return nil, err
 		}
-		a, err := core.Analyze(app, arch, cfg)
+		a, err := eval(cfg)
 		if err != nil {
 			return nil, err
 		}

@@ -32,11 +32,22 @@ type Progress struct {
 	Best        *Result
 }
 
+// EvalFunc analyzes one configuration. The cold implementation is
+// core.Analyze partially applied; sessions inject their incremental
+// delta evaluator, which must return identical results (the delta
+// package's differential harness proves it does).
+type EvalFunc func(*core.Config) (*core.Analysis, error)
+
 // Hooks instruments an optimizer run and lets a long-lived session
 // inject cached derived state. The zero value disables everything.
 type Hooks struct {
 	// OnProgress, when non-nil, receives one event per reduction step.
 	OnProgress func(Progress)
+	// Eval, when non-nil, replaces core.Analyze for every candidate
+	// analysis, HOPA's included. Evaluation counters count the analyses
+	// the optimizers request, not what Eval recomputes, so reported
+	// Evaluations are identical with and without an injected evaluator.
+	Eval EvalFunc
 	// SlotLengths, when non-nil, replaces
 	// tsched.RecommendedSlotLengths so a session can cache the
 	// candidate sets per slot owner. It must return exactly what the
@@ -68,6 +79,15 @@ func (h *Hooks) baseConfig(app *model.Application, arch *model.Architecture) *co
 	return core.DefaultConfig(app, arch)
 }
 
+func (h *Hooks) eval(app *model.Application, arch *model.Architecture) EvalFunc {
+	if h.Eval != nil {
+		return h.Eval
+	}
+	return func(cfg *core.Config) (*core.Analysis, error) {
+		return core.Analyze(app, arch, cfg)
+	}
+}
+
 // canceled reports whether err is the batch-wide cancellation of ctx
 // (as opposed to a genuine per-candidate analysis failure).
 func canceled(ctx context.Context, err error) bool {
@@ -83,9 +103,9 @@ func (r *Result) STotal() int { return r.Analysis.Buffers.Total }
 // Schedulable reports the analysis verdict.
 func (r *Result) Schedulable() bool { return r.Analysis.Schedulable }
 
-// evaluate analyzes a configuration.
-func evaluate(app *model.Application, arch *model.Architecture, cfg *core.Config) (*Result, error) {
-	a, err := core.Analyze(app, arch, cfg)
+// evaluateWith analyzes a configuration through the run's evaluator.
+func evaluateWith(eval EvalFunc, cfg *core.Config) (*Result, error) {
+	a, err := eval(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -99,11 +119,20 @@ func evaluate(app *model.Application, arch *model.Architecture, cfg *core.Config
 // MultiClusterScheduling. Priority optimization (HOPA) is part of
 // OptimizeSchedule, not of the baseline (§5.1).
 func Straightforward(app *model.Application, arch *model.Architecture) (*Result, error) {
+	return StraightforwardWith(app, arch, nil)
+}
+
+// StraightforwardWith is Straightforward through an explicit evaluator
+// (nil falls back to core.Analyze).
+func StraightforwardWith(app *model.Application, arch *model.Architecture, eval EvalFunc) (*Result, error) {
 	cfg := core.DefaultConfig(app, arch)
 	if err := cfg.Normalize(app); err != nil {
 		return nil, err
 	}
-	return evaluate(app, arch, cfg)
+	if eval == nil {
+		eval = (&Hooks{}).eval(app, arch)
+	}
+	return evaluateWith(eval, cfg)
 }
 
 // OSOptions tunes OptimizeSchedule.
@@ -153,11 +182,13 @@ type OSResult struct {
 }
 
 // osCandidate is one (owner, length) candidate of the Fig. 8 slot
-// search, ready to be evaluated.
+// search, described as the typed moves that derive it from the
+// position's shared parent configuration (a swap bringing slot j into
+// position i, then an absolute length assignment).
 type osCandidate struct {
-	j   int        // slot index swapped into position i
-	l   model.Time // candidate length of position i
-	cfg *core.Config
+	j     int        // slot index swapped into position i
+	l     model.Time // candidate length of position i
+	moves []Move
 }
 
 // osEval is the evaluation of one candidate: the analyzed result plus
@@ -202,28 +233,36 @@ func OptimizeSchedule(ctx context.Context, app *model.Application, arch *model.A
 		if ctx.Err() != nil {
 			return partial(best)
 		}
-		// Generate the full candidate batch for position i up front.
+		// Generate the full candidate batch for position i up front, as
+		// typed moves against the position's shared parent (the running
+		// best round on the base template).
+		parent := base.Clone()
+		parent.Round = round.Clone()
 		var cands []osCandidate
 		for j := i; j < len(round.Slots); j++ {
-			cand := round.Clone()
-			cand.Slots[i], cand.Slots[j] = cand.Slots[j], cand.Slots[i]
-			lengths := opts.Hooks.slotLengths(app, arch, cand.Slots[i].Node, opts.SlotCandidates)
+			lengths := opts.Hooks.slotLengths(app, arch, round.Slots[j].Node, opts.SlotCandidates)
 			for _, l := range lengths {
-				cand2 := cand.Clone()
-				cand2.Slots[i].Length = l
-				cfg := base.Clone()
-				cfg.Round = cand2
-				if err := cfg.Normalize(app); err != nil {
-					return nil, err
+				var mvs []Move
+				if j != i {
+					mvs = append(mvs, Move{Kind: MoveSwapSlots, Slot: i, Slot2: j})
 				}
-				cands = append(cands, osCandidate{j: j, l: l, cfg: cfg})
+				mvs = append(mvs, Move{Kind: MoveSetSlotLen, Slot: i, Length: l})
+				cands = append(cands, osCandidate{j: j, l: l, moves: mvs})
 			}
 		}
 
-		// Fan the HOPA + analysis work out across the pool.
+		// Fan the derivation + HOPA + analysis work out across the pool.
+		eval := opts.Hooks.eval(app, arch)
 		evals, _ := engine.Map(ctx, pool, len(cands), func(_ context.Context, k int) (osEval, error) {
-			cfg := cands[k].cfg
-			pr, err := hopa.Assign(app, arch, cfg.Round, opts.HOPAIterations)
+			cfg := parent
+			for _, mv := range cands[k].moves {
+				next, err := mv.Apply(app, arch, cfg)
+				if err != nil {
+					return osEval{}, err
+				}
+				cfg = next
+			}
+			pr, err := hopa.AssignWith(app, arch, cfg.Round, opts.HOPAIterations, eval)
 			if err != nil {
 				return osEval{}, err
 			}
@@ -233,7 +272,7 @@ func OptimizeSchedule(ctx context.Context, app *model.Application, arch *model.A
 			if err := full.Normalize(app); err != nil {
 				return osEval{hopaEvals: pr.Evaluations}, err
 			}
-			r, err := evaluate(app, arch, full)
+			r, err := evaluateWith(eval, full)
 			if err != nil {
 				return osEval{hopaEvals: pr.Evaluations}, err
 			}
@@ -426,6 +465,7 @@ func OptimizeResources(ctx context.Context, app *model.Application, arch *model.
 	if pool == nil {
 		pool = engine.New(opts.Workers)
 	}
+	eval := opts.Hooks.eval(app, arch)
 	best := osres.Best
 	step := 0
 	for si, seed := range osres.Seeds {
@@ -442,25 +482,20 @@ func OptimizeResources(ctx context.Context, app *model.Application, arch *model.
 				return out, ctx.Err()
 			}
 			// The neighbourhood is drawn serially (one rng stream, same
-			// sequence as the serial climber), then scored in parallel.
+			// sequence as the serial climber), then scored in parallel:
+			// the typed moves derive each neighbour from the shared
+			// incumbent inside the batch.
 			moves := GenerateMoves(app, arch, cur.Config, cur.Analysis, MoveBudget{Max: opts.NeighborBudget, Rand: rng})
-			evals, _ := engine.Map(ctx, pool, len(moves), func(_ context.Context, k int) (*Result, error) {
-				cfg, err := moves[k].Apply(app, arch, cur.Config)
-				if err != nil {
-					return nil, nil // structurally impossible move
-				}
-				r, err := evaluate(app, arch, cfg)
-				if err != nil {
-					return nil, nil // unanalyzable neighbour: skip
-				}
-				return r, nil
-			})
+			evals, _ := engine.EvaluateAllDelta(ctx, pool, engine.Analyzer(eval), cur.Config, len(moves),
+				func(k int, parent *core.Config) (*core.Config, error) {
+					return moves[k].Apply(app, arch, parent)
+				})
 			var chosen *Result
 			for _, ev := range evals {
-				r := ev.Value
-				if r == nil {
-					continue
+				if ev.Err != nil || ev.Analysis == nil {
+					continue // impossible move, unanalyzable or cancelled
 				}
+				r := &Result{Config: ev.Config, Analysis: ev.Analysis}
 				out.Evaluations++
 				if !r.Schedulable() {
 					continue

@@ -39,6 +39,12 @@ const (
 	MoveResizeSlot
 	// MoveSwapSlots exchanges two slots inside the TDMA round.
 	MoveSwapSlots
+	// MoveSetSlotLen sets a TDMA slot to the absolute length Length
+	// (respecting the minimal slot length). The OptimizeSchedule
+	// candidate scan expresses its per-position (owner, length) choices
+	// as MoveSwapSlots + MoveSetSlotLen sequences, so candidates reach
+	// the evaluation batch as typed move descriptors.
+	MoveSetSlotLen
 )
 
 // String names the move kind.
@@ -60,6 +66,8 @@ func (k MoveKind) String() string {
 		return "resize-slot"
 	case MoveSwapSlots:
 		return "swap-slots"
+	case MoveSetSlotLen:
+		return "set-slot-length"
 	}
 	return fmt.Sprintf("MoveKind(%d)", int(k))
 }
@@ -75,6 +83,7 @@ type Move struct {
 	Slot   int
 	Slot2  int
 	Delta  model.Time // slot resize amount (signed)
+	Length model.Time // absolute slot length (MoveSetSlotLen)
 }
 
 // String renders the move for diagnostics.
@@ -94,6 +103,8 @@ func (m Move) String() string {
 		return fmt.Sprintf("%v(m%d,m%d)", m.Kind, m.Edge, m.Edge2)
 	case MoveResizeSlot:
 		return fmt.Sprintf("%v(S%d%+d)", m.Kind, m.Slot, m.Delta)
+	case MoveSetSlotLen:
+		return fmt.Sprintf("%v(S%d=%d)", m.Kind, m.Slot, m.Length)
 	default:
 		return fmt.Sprintf("%v(S%d,S%d)", m.Kind, m.Slot, m.Slot2)
 	}
@@ -155,6 +166,16 @@ func (m Move) Apply(app *model.Application, arch *model.Architecture, cfg *core.
 			return nil, fmt.Errorf("opt: invalid slot pair %d,%d", m.Slot, m.Slot2)
 		}
 		d.Round.Slots[m.Slot], d.Round.Slots[m.Slot2] = d.Round.Slots[m.Slot2], d.Round.Slots[m.Slot]
+	case MoveSetSlotLen:
+		d = cfg.Clone()
+		if m.Slot < 0 || m.Slot >= len(d.Round.Slots) {
+			return nil, fmt.Errorf("opt: slot %d out of range", m.Slot)
+		}
+		sl := &d.Round.Slots[m.Slot]
+		if min := tsched.MinSlotLength(app, arch, sl.Node); m.Length < min {
+			return nil, fmt.Errorf("opt: slot %d cannot shrink below %d", m.Slot, min)
+		}
+		sl.Length = m.Length
 	default:
 		return nil, fmt.Errorf("opt: unknown move kind %d", m.Kind)
 	}

@@ -55,6 +55,12 @@ type Options struct {
 	// Pool, when non-nil, supplies the chain pool (typically a
 	// session-shared one) instead of a fresh engine.New(Workers).
 	Pool *engine.Pool
+	// Eval, when non-nil, replaces core.Analyze for every analysis of
+	// the chains (and the SF start of RunSAS/RunSAR) — the Solver
+	// injects its incremental delta evaluator here. Results and
+	// Evaluations counts are identical either way; successive chain
+	// steps share the parent state through the evaluator's caches.
+	Eval opt.EvalFunc
 	// OnProgress, when non-nil, receives one event per evaluated move.
 	// With several restart chains the callback runs concurrently and
 	// must be safe for concurrent use; Chain tells the events apart.
@@ -136,8 +142,14 @@ func Run(ctx context.Context, app *model.Application, arch *model.Architecture, 
 
 func runChain(ctx context.Context, app *model.Application, arch *model.Architecture, initial *core.Config, opts Options, chain int) (*Result, error) {
 	opts.defaults()
+	eval := opts.Eval
+	if eval == nil {
+		eval = func(cfg *core.Config) (*core.Analysis, error) {
+			return core.Analyze(app, arch, cfg)
+		}
+	}
 	rng := rand.New(rand.NewSource(opts.Seed))
-	curA, err := core.Analyze(app, arch, initial)
+	curA, err := eval(initial)
 	if err != nil {
 		return nil, err
 	}
@@ -159,7 +171,7 @@ func runChain(ctx context.Context, app *model.Application, arch *model.Architect
 		if err != nil {
 			continue // impossible move: try another
 		}
-		a, err := core.Analyze(app, arch, cfg)
+		a, err := eval(cfg)
 		if err != nil {
 			continue
 		}
@@ -256,7 +268,7 @@ func RunSAR(ctx context.Context, app *model.Application, arch *model.Architectur
 }
 
 func runFromSF(ctx context.Context, app *model.Application, arch *model.Architecture, opts Options) (*Result, error) {
-	sf, err := opt.Straightforward(app, arch)
+	sf, err := opt.StraightforwardWith(app, arch, opts.Eval)
 	if err != nil {
 		return nil, err
 	}

@@ -92,3 +92,42 @@ func BenchmarkSolverSynthesizeCached(b *testing.B) {
 		}
 	}
 }
+
+// benchSynthesizeDelta runs the full OS+OR pipeline on a fresh session
+// per iteration with the incremental delta evaluator off/on. A fresh
+// session isolates the intra-run reuse (the slot scan and hill climber
+// revisiting configurations and stages) from session-level caching,
+// which the Cold/Cached pair above measures. Results are bit-identical
+// either way; scripts/benchjson.py pairs the *DeltaOff/*DeltaOn
+// results into the delta_speedup section of BENCH_solver.json, with
+// the delta_hit_rate metric alongside.
+func benchSynthesizeDelta(b *testing.B, useDelta bool) {
+	app, arch := system(b, 1)
+	ctx := context.Background()
+	var stats string
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s, err := New(app, arch, WithDelta(useDelta))
+		if err != nil {
+			b.Fatal(err)
+		}
+		if _, err := s.SynthesizeWith(ctx, OptimizeResources); err != nil {
+			b.Fatal(err)
+		}
+		if useDelta {
+			ds := s.DeltaStats()
+			b.ReportMetric(ds.HitRate(), "delta_hit_rate")
+			b.ReportMetric(ds.StageHitRate(), "delta_stage_hit_rate")
+			stats = ds.String()
+		}
+	}
+	if useDelta && testing.Verbose() {
+		b.Log(stats)
+	}
+}
+
+// BenchmarkSolverSynthesizeDeltaOff is the cold reference leg.
+func BenchmarkSolverSynthesizeDeltaOff(b *testing.B) { benchSynthesizeDelta(b, false) }
+
+// BenchmarkSolverSynthesizeDeltaOn is the delta-evaluated leg.
+func BenchmarkSolverSynthesizeDeltaOn(b *testing.B) { benchSynthesizeDelta(b, true) }

@@ -146,6 +146,7 @@ func (s *Solver) Explore(ctx context.Context, options ...DSEOption) (*dse.Result
 		Seeds:        o.Seeds,
 		SeedPoints:   warmPoints,
 		BaseConfig:   s.baseConfig,
+		Eval:         s.eval(),
 		OnProgress:   s.observeDSE(warmEvals),
 	})
 	if res != nil {

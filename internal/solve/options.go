@@ -27,6 +27,13 @@ type Options struct {
 	// Unset nested worker counts and the unset RandSeed inherit the
 	// top-level Workers and Seed.
 	OR opt.OROptions
+	// NoDelta disables the incremental delta-evaluation engine
+	// (internal/delta): every analysis then runs the cold
+	// core.Analyze path. The zero value keeps delta-eval ON — it is
+	// bit-identical to the cold path (the differential harness proves
+	// it), so the escape hatch exists for benchmarking and debugging,
+	// not correctness (the CLIs expose it as -delta=false).
+	NoDelta bool
 	// Observer, when non-nil, receives progress events.
 	Observer Observer
 }
@@ -82,6 +89,10 @@ func WithWorkers(n int) Option { return func(o *Options) { o.Workers = n } }
 
 // WithObserver streams progress events to obs.
 func WithObserver(obs Observer) Option { return func(o *Options) { o.Observer = obs } }
+
+// WithDelta toggles the incremental delta-evaluation engine (on by
+// default; results are bit-identical either way).
+func WithDelta(on bool) Option { return func(o *Options) { o.NoDelta = !on } }
 
 // WithOROptions tunes the OS/OR heuristics (iteration caps, seed
 // limits, neighbour budgets). Unset nested worker counts still inherit

@@ -21,6 +21,7 @@ import (
 	"sync"
 
 	"repro/internal/core"
+	"repro/internal/delta"
 	"repro/internal/engine"
 	"repro/internal/model"
 	"repro/internal/opt"
@@ -62,6 +63,12 @@ type sysCache struct {
 	baseRaw  *core.Config // un-normalized DefaultConfig template
 	baseNorm *core.Config // normalized template (SF / SA starting point)
 	slotLens map[slotKey][]model.Time
+	// deltaEval is the session's incremental evaluator. Like the
+	// templates it carries only configuration-keyed, seed-independent
+	// state, so derived sessions (Observed, Derive) share it across
+	// seeds, strategies and worker counts without perturbing results;
+	// sessions built with WithDelta(false) simply bypass it.
+	deltaEval *delta.Evaluator
 }
 
 type slotKey struct {
@@ -179,6 +186,52 @@ func (s *Solver) slotLengths(owner model.NodeID, max int) []model.Time {
 	return lengths
 }
 
+// evaluator returns the shared incremental evaluator, creating it on
+// first use, or nil when the session runs with delta-eval disabled.
+func (s *Solver) evaluator() *delta.Evaluator {
+	if s.opts.NoDelta {
+		return nil
+	}
+	c := s.cache
+	c.mu.Lock()
+	if c.deltaEval == nil {
+		c.deltaEval = delta.New(s.app, s.arch)
+	}
+	ev := c.deltaEval
+	c.mu.Unlock()
+	return ev
+}
+
+// eval is the session's analysis function: the incremental evaluator
+// when delta-eval is on (the default), the cold core.Analyze otherwise.
+// Results are bit-identical either way.
+func (s *Solver) eval() opt.EvalFunc {
+	if ev := s.evaluator(); ev != nil {
+		return ev.Analyze
+	}
+	return func(cfg *core.Config) (*core.Analysis, error) {
+		return core.Analyze(s.app, s.arch, cfg)
+	}
+}
+
+// DeltaStats reports the incremental evaluator's cache counters (the
+// zero Stats when the session runs with WithDelta(false) or nothing was
+// analyzed yet). Derived sessions share the evaluator, so the counters
+// aggregate over every session of the system.
+func (s *Solver) DeltaStats() delta.Stats {
+	if s.opts.NoDelta {
+		return delta.Stats{}
+	}
+	c := s.cache
+	c.mu.Lock()
+	ev := c.deltaEval
+	c.mu.Unlock()
+	if ev == nil {
+		return delta.Stats{}
+	}
+	return ev.Stats()
+}
+
 // emit serializes an event to the observer, if any.
 func (s *Solver) emit(p Progress) {
 	obs := s.opts.Observer
@@ -229,6 +282,7 @@ func (s *Solver) hooks(strat Strategy) opt.Hooks {
 		OnProgress:  s.observeOpt(strat),
 		SlotLengths: s.slotLengths,
 		BaseConfig:  s.baseConfig,
+		Eval:        s.eval(),
 	}
 }
 
@@ -256,14 +310,14 @@ func (s *Solver) Analyze(ctx context.Context, cfg *core.Config) (*core.Analysis,
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
-	return core.Analyze(s.app, s.arch, cfg)
+	return s.eval()(cfg)
 }
 
 // AnalyzeAll analyzes a batch of independent candidate configurations
 // across the session pool, in input order (identical to analyzing them
 // serially); per-configuration failures are captured per item.
 func (s *Solver) AnalyzeAll(ctx context.Context, cfgs []*core.Config) ([]engine.Evaluation, error) {
-	return engine.EvaluateAll(ctx, s.pool, s.app, s.arch, cfgs)
+	return engine.EvaluateAllWith(ctx, s.pool, engine.Analyzer(s.eval()), cfgs)
 }
 
 // Simulate executes a configuration in the discrete-event simulator.
@@ -288,7 +342,7 @@ func (s *Solver) Straightforward(ctx context.Context) (*opt.Result, error) {
 	if err != nil {
 		return nil, err
 	}
-	a, err := core.Analyze(s.app, s.arch, cfg)
+	a, err := s.eval()(cfg)
 	if err != nil {
 		return nil, err
 	}
@@ -320,6 +374,7 @@ func (s *Solver) Anneal(ctx context.Context, obj sa.Objective, initial *core.Con
 	return sa.RunRestarts(ctx, s.app, s.arch, initial, sa.Options{
 		Objective: obj, Iterations: s.opts.SAIterations, Seed: seed,
 		Restarts: s.opts.SARestarts, Workers: s.opts.Workers, Pool: s.pool,
+		Eval:       s.eval(),
 		OnProgress: s.observeSA(strat),
 	})
 }

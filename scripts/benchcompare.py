@@ -1,0 +1,80 @@
+#!/usr/bin/env python3
+"""Gate benchmark regressions against the previous CI artifact.
+
+Usage: benchcompare.py PREVIOUS.json CURRENT.json [threshold]
+
+Compares the ns_per_op of every benchmark present in both artifacts
+(the JSON written by benchjson.py) and fails — exit 1 — when any
+benchmark regressed by more than the threshold (default 0.10 = +10%
+wall clock). Improvements and new benchmarks pass silently; benchmarks
+that disappeared are reported but do not fail the gate (renames happen).
+
+The gate is tolerant of a missing or unreadable previous artifact: the
+first run on a branch, an expired artifact or a changed schema all
+print a notice and exit 0, so the gate can never wedge CI on history
+it does not have. CI wall clocks are noisy, so the benchmarks behind
+this gate should use fixed -benchtime iteration counts and the
+threshold should stay comfortably above run-to-run jitter.
+"""
+import json
+import sys
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            doc = json.load(f)
+    except (OSError, ValueError) as e:
+        return None, str(e)
+    benches = doc.get("benchmarks")
+    if not isinstance(benches, dict):
+        return None, "no 'benchmarks' section"
+    return benches, None
+
+
+def main() -> int:
+    if len(sys.argv) < 3:
+        print(__doc__.strip(), file=sys.stderr)
+        return 2
+    prev_path, cur_path = sys.argv[1], sys.argv[2]
+    threshold = float(sys.argv[3]) if len(sys.argv) > 3 else 0.10
+
+    prev, err = load(prev_path)
+    if prev is None:
+        print(f"benchcompare: no previous artifact ({prev_path}: {err}); skipping gate")
+        return 0
+    cur, err = load(cur_path)
+    if cur is None:
+        print(f"benchcompare: current artifact unreadable ({cur_path}: {err})", file=sys.stderr)
+        return 1
+
+    regressions = []
+    for name, was in sorted(prev.items()):
+        now = cur.get(name)
+        if now is None:
+            print(f"  gone: {name} (was {was.get('ns_per_op')} ns/op)")
+            continue
+        old_ns, new_ns = was.get("ns_per_op"), now.get("ns_per_op")
+        if not old_ns or not new_ns:
+            continue
+        change = new_ns / old_ns - 1.0
+        marker = "REGRESSED" if change > threshold else "ok"
+        print(f"  {marker:>9}: {name}  {old_ns:.0f} -> {new_ns:.0f} ns/op ({change:+.1%})")
+        if change > threshold:
+            regressions.append((name, change))
+
+    if regressions:
+        print(
+            f"benchcompare: {len(regressions)} benchmark(s) regressed more than "
+            f"{threshold:.0%}:",
+            file=sys.stderr,
+        )
+        for name, change in regressions:
+            print(f"  {name}: {change:+.1%}", file=sys.stderr)
+        return 1
+    print(f"benchcompare: {len(cur)} benchmarks within {threshold:.0%} of {prev_path}")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -12,6 +12,12 @@ Custom metrics emitted via testing.B.ReportMetric (e.g. the DSE
 benchmarks' front_size, hypervolume and evaluations) are collected
 verbatim, so BENCH_dse.json reports the front quality next to the
 wall-clock per worker count.
+
+Benchmarks named *DeltaOff/*DeltaOn are likewise paired into a
+delta_speedup section — the measured payoff of the incremental
+delta-evaluation engine, with the engine's delta_hit_rate metric
+carried alongside — so BENCH_solver.json and BENCH_dse.json directly
+answer "what does delta evaluation buy and how often does it hit".
 """
 import json
 import re
@@ -51,12 +57,37 @@ def main() -> int:
             if cached["ns_per_op"]
             else None,
         }
+    delta = {}
+    for name, off in results.items():
+        if not name.endswith("DeltaOff"):
+            continue
+        on = results.get(name[: -len("Off")] + "On")
+        if not on:
+            continue
+        delta[name[len("Benchmark"):-len("DeltaOff")]] = {
+            "off_ns_per_op": off["ns_per_op"],
+            "on_ns_per_op": on["ns_per_op"],
+            "speedup": round(off["ns_per_op"] / on["ns_per_op"], 3)
+            if on["ns_per_op"]
+            else None,
+            "delta_hit_rate": on.get("delta_hit_rate"),
+            "delta_stage_hit_rate": on.get("delta_stage_hit_rate"),
+        }
     with open(out, "w") as f:
         json.dump(
-            {"benchmarks": results, "cold_vs_cached": comparisons}, f, indent=2
+            {
+                "benchmarks": results,
+                "cold_vs_cached": comparisons,
+                "delta_speedup": delta,
+            },
+            f,
+            indent=2,
         )
         f.write("\n")
-    print(f"wrote {out}: {len(results)} benchmarks, {len(comparisons)} comparisons")
+    print(
+        f"wrote {out}: {len(results)} benchmarks, {len(comparisons)} comparisons, "
+        f"{len(delta)} delta pairs"
+    )
     return 0
 
 

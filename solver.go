@@ -1,6 +1,7 @@
 package repro
 
 import (
+	"repro/internal/delta"
 	"repro/internal/opt"
 	"repro/internal/solve"
 )
@@ -39,6 +40,10 @@ type Progress = solve.Progress
 // via Solver.Options).
 type SolverOptions = solve.Options
 
+// DeltaStats reports the incremental delta-evaluation engine's cache
+// counters (see Solver.DeltaStats and WithDelta).
+type DeltaStats = delta.Stats
+
 // NewSolver builds a synthesis session for the application/architecture
 // pair. Options normalize exactly once, here: worker counts propagate
 // top-down into the nested heuristic options (so they can never
@@ -74,3 +79,10 @@ func WithObserver(obs Observer) Option { return solve.WithObserver(obs) }
 // limits, neighbour budgets). Unset nested worker counts inherit the
 // WithWorkers value; an unset RandSeed inherits WithSeed.
 func WithOROptions(or opt.OROptions) Option { return solve.WithOROptions(or) }
+
+// WithDelta toggles the incremental delta-evaluation engine (on by
+// default). Synthesis results are bit-identical either way — the
+// differential harness proves it — so turning it off is an escape
+// hatch for benchmarking and debugging, not correctness. The CLIs
+// expose this as -delta=false.
+func WithDelta(on bool) Option { return solve.WithDelta(on) }
