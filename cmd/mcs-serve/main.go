@@ -65,6 +65,7 @@ func main() {
 	defer stop()
 
 	errc := make(chan error, 1)
+	//mcs:allow poolonly process-lifetime HTTP listener; the serve/shutdown handshake needs a detached goroutine
 	go func() {
 		log.Printf("mcs-serve: listening on %s (job workers %d, queue %d, cache %d)",
 			*addr, *jobWorkers, *queue, *cacheSize)

@@ -248,6 +248,7 @@ func Explore(ctx context.Context, app *model.Application, arch *model.Architectu
 		// Variation is drawn serially from the one rng stream (same
 		// sequence as a serial run), then scored in parallel.
 		var offspring []*core.Config
+		//mcs:allow ctxloop variation is cheap in-memory mutation; the generation loop above and the pooled evaluation below both observe ctx
 		for i := 0; i < opts.Population; i++ {
 			parent := tournament(rng, pop)
 			if cfg := mutate(rng, app, arch, parent.Point, &opts); cfg != nil {

@@ -1,0 +1,167 @@
+package lint
+
+import (
+	"fmt"
+	"path/filepath"
+	"regexp"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+// moduleRoot returns the repo root (two levels above this package).
+func moduleRoot(t *testing.T) string {
+	t.Helper()
+	root, err := filepath.Abs("../..")
+	if err != nil {
+		t.Fatal(err)
+	}
+	return root
+}
+
+// want is one expectation parsed from a fixture's "// want" comments.
+type want struct {
+	file string
+	line int
+	re   *regexp.Regexp
+	hit  bool
+}
+
+// wantRe matches the expectation marker; each following quoted or
+// backquoted string is a regexp one diagnostic on that line must match.
+var wantRe = regexp.MustCompile("\"(?:[^\"\\\\]|\\\\.)*\"|`[^`]*`")
+
+func parseWants(t *testing.T, pkg *Package) []*want {
+	t.Helper()
+	var wants []*want
+	for fname, src := range pkg.Src {
+		for i, line := range strings.Split(string(src), "\n") {
+			_, rest, ok := strings.Cut(line, "// want ")
+			if !ok {
+				continue
+			}
+			matches := wantRe.FindAllString(rest, -1)
+			if len(matches) == 0 {
+				t.Fatalf("%s:%d: malformed want comment (no quoted regexp)", fname, i+1)
+			}
+			for _, m := range matches {
+				pattern := m
+				if strings.HasPrefix(m, `"`) {
+					var err error
+					if pattern, err = strconv.Unquote(m); err != nil {
+						t.Fatalf("%s:%d: bad want string %s: %v", fname, i+1, m, err)
+					}
+				} else {
+					pattern = strings.Trim(m, "`")
+				}
+				re, err := regexp.Compile(pattern)
+				if err != nil {
+					t.Fatalf("%s:%d: bad want regexp %q: %v", fname, i+1, pattern, err)
+				}
+				wants = append(wants, &want{file: fname, line: i + 1, re: re})
+			}
+		}
+	}
+	return wants
+}
+
+// runFixture loads one fixture package, runs the analyzer over it, and
+// checks the diagnostics against the fixture's // want expectations —
+// every want must be hit, every diagnostic must be wanted.
+func runFixture(t *testing.T, a *Analyzer, fixture string) {
+	t.Helper()
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./internal/lint/testdata/src/" + fixture)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) != 1 {
+		t.Fatalf("fixture %s: got %d packages, want 1", fixture, len(pkgs))
+	}
+	pkg := pkgs[0]
+	for _, terr := range pkg.TypeErrors {
+		t.Errorf("fixture %s: type error: %v", fixture, terr)
+	}
+	wants := parseWants(t, pkg)
+	for _, d := range Run(pkgs, []*Analyzer{a}) {
+		matched := false
+		for _, w := range wants {
+			if !w.hit && w.file == d.File && w.line == d.Line && w.re.MatchString(d.Message) {
+				w.hit = true
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("unexpected diagnostic: %s", d)
+		}
+	}
+	for _, w := range wants {
+		if !w.hit {
+			t.Errorf("%s:%d: want %q: no matching diagnostic", w.file, w.line, w.re)
+		}
+	}
+}
+
+func TestDetrandFixture(t *testing.T)  { runFixture(t, Detrand, "detrand/a") }
+func TestMaporderFixture(t *testing.T) { runFixture(t, Maporder, "maporder/a") }
+func TestWallclockFixture(t *testing.T) {
+	runFixture(t, Wallclock, "wallclock/a")
+}
+func TestPoolonlyFixture(t *testing.T) { runFixture(t, Poolonly, "poolonly/a") }
+func TestCtxloopFixture(t *testing.T)  { runFixture(t, Ctxloop, "ctxloop/a") }
+
+// The deterministic layers refuse suppression for the bit-identity
+// analyzers: the annotated fixture sites still fire.
+func TestDetrandHardInDetLayer(t *testing.T) {
+	runFixture(t, Detrand, "detrand/core")
+}
+func TestWallclockHardInDetLayer(t *testing.T) {
+	runFixture(t, Wallclock, "wallclock/solve")
+}
+
+// internal/engine (the pool itself) is structurally exempt from
+// poolonly: the fixture's bare go statement produces nothing.
+func TestPoolonlyEngineExempt(t *testing.T) {
+	runFixture(t, Poolonly, "poolonly/internal/engine")
+}
+
+// Directive hygiene: missing reasons, unknown analyzers, unused and
+// dangling directives are findings in their own right.
+func TestDirectiveHygiene(t *testing.T) {
+	runFixture(t, Poolonly, "directive/a")
+}
+
+func TestByName(t *testing.T) {
+	as, err := ByName("detrand, poolonly")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(as) != 2 || as[0].Name != "detrand" || as[1].Name != "poolonly" {
+		t.Fatalf("ByName: got %v", analyzerNames(as))
+	}
+	if _, err := ByName("nosuch"); err == nil {
+		t.Fatal("ByName(nosuch): expected error")
+	}
+}
+
+// TestSuiteNamesUnique guards the directive matcher: every analyzer
+// name (and the reserved hygiene name) must be distinct.
+func TestSuiteNamesUnique(t *testing.T) {
+	seen := map[string]bool{"directive": true}
+	for _, a := range All() {
+		if seen[a.Name] {
+			t.Fatalf("duplicate analyzer name %q", a.Name)
+		}
+		seen[a.Name] = true
+	}
+}
+
+func ExampleDiagnostic() {
+	d := Diagnostic{Analyzer: "poolonly", File: "x.go", Line: 3, Column: 2, Message: "bare go statement"}
+	fmt.Println(d)
+	// Output: x.go:3:2: bare go statement [poolonly]
+}

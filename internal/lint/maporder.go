@@ -1,0 +1,160 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Maporder flags the classic bit-identity killer: a range over a map
+// whose body feeds an order-sensitive sink — appending to a slice,
+// writing output, or feeding a hash/encoder — without a deterministic
+// order. Go randomizes map iteration per run, so any such loop makes
+// output depend on the iteration draw.
+//
+// The analyzer lets a loop off when the enclosing function sorts after
+// the loop (any call into sort or slices.Sort* lexically after the
+// range ends): collect-then-sort is the repo's idiomatic fix. Sites
+// where order provably cannot matter are annotated with
+// //mcs:allow maporder and the proof as the reason.
+var Maporder = &Analyzer{
+	Name: "maporder",
+	Doc: "flags range-over-map loops that append, write output, or feed a hash/encoder " +
+		"without an intervening sort — iterate sorted keys or sort the collected result",
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			// Walk with explicit function tracking so each range can be
+			// checked for a sort later in its innermost enclosing
+			// function body.
+			var walk func(n ast.Node, fn ast.Node)
+			walk = func(n ast.Node, fn ast.Node) {
+				switch n := n.(type) {
+				case *ast.FuncDecl:
+					if n.Body != nil {
+						walk(n.Body, n.Body)
+					}
+					return
+				case *ast.FuncLit:
+					walk(n.Body, n.Body)
+					return
+				case *ast.RangeStmt:
+					if fn != nil {
+						checkRange(p, n, fn)
+					}
+				case nil:
+					return
+				}
+				ast.Inspect(n, func(c ast.Node) bool {
+					if c == n {
+						return true
+					}
+					switch c.(type) {
+					case *ast.FuncDecl, *ast.FuncLit, *ast.RangeStmt:
+						walk(c, fn)
+						return false
+					}
+					return true
+				})
+			}
+			walk(f, nil)
+		}
+	},
+}
+
+func checkRange(p *Pass, rs *ast.RangeStmt, fn ast.Node) {
+	tv, ok := p.Pkg.Info.Types[rs.X]
+	if !ok || tv.Type == nil {
+		return
+	}
+	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+		return
+	}
+	sink := orderSensitiveSink(p, rs.Body)
+	if sink == "" {
+		return
+	}
+	if sortedAfter(p, fn, rs.End()) {
+		return
+	}
+	p.Reportf(rs.Pos(), "range over map feeds %s without a deterministic order — iterate sorted keys, sort the collected result, or prove order-independence with //mcs:allow maporder <reason>", sink)
+	// Descend into the body anyway so nested ranges still get their own
+	// checks via the outer walker (Inspect there recurses past us).
+}
+
+// orderSensitiveSinks are call names whose results depend on call
+// order: stream writers, printers, and hash/encoder feeds.
+var orderSensitivePrefixes = []string{"Write", "Print", "Fprint", "Encode", "Sum"}
+
+// orderSensitiveSink reports what (if anything) inside the range body
+// observes iteration order: an append onto a slice, a write/print/
+// encode/hash call, or a channel send.
+func orderSensitiveSink(p *Pass, body *ast.BlockStmt) string {
+	sink := ""
+	ast.Inspect(body, func(n ast.Node) bool {
+		if sink != "" {
+			return false
+		}
+		switch n := n.(type) {
+		case *ast.SendStmt:
+			sink = "a channel send"
+		case *ast.CallExpr:
+			switch callee := n.Fun.(type) {
+			case *ast.Ident:
+				if b, ok := p.Pkg.Info.Uses[callee].(*types.Builtin); ok && b.Name() == "append" {
+					sink = "append"
+				}
+			case *ast.SelectorExpr:
+				name := callee.Sel.Name
+				for _, prefix := range orderSensitivePrefixes {
+					if strings.HasPrefix(name, prefix) {
+						sink = "an order-sensitive call (" + name + ")"
+						break
+					}
+				}
+			}
+		}
+		return true
+	})
+	return sink
+}
+
+// sortedAfter reports whether the enclosing function establishes a
+// deterministic order lexically after pos — a call into sort,
+// slices.Sort*, or a local helper whose name says it sorts
+// (sortProcIDs, SortKeys, ...): the collect-then-sort idiom.
+func sortedAfter(p *Pass, fn ast.Node, pos token.Pos) bool {
+	found := false
+	ast.Inspect(fn, func(n ast.Node) bool {
+		if found {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < pos {
+			return true
+		}
+		switch callee := call.Fun.(type) {
+		case *ast.Ident:
+			if strings.HasPrefix(callee.Name, "sort") || strings.HasPrefix(callee.Name, "Sort") {
+				found = true
+			}
+		case *ast.SelectorExpr:
+			if x, ok := callee.X.(*ast.Ident); ok {
+				if pn, ok := p.Pkg.Info.Uses[x].(*types.PkgName); ok {
+					switch pn.Imported().Path() {
+					case "sort":
+						found = true
+					case "slices":
+						found = strings.HasPrefix(callee.Sel.Name, "Sort")
+					}
+					break
+				}
+			}
+			if strings.HasPrefix(callee.Sel.Name, "sort") || strings.HasPrefix(callee.Sel.Name, "Sort") {
+				found = true
+			}
+		}
+		return !found
+	})
+	return found
+}

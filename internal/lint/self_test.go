@@ -1,0 +1,29 @@
+package lint
+
+import "testing"
+
+// TestSelfApplication is the acceptance gate: the full analyzer suite
+// over the whole repo must be clean — every legitimate site annotated
+// with a reasoned //mcs:allow, everything else fixed. This is the same
+// run scripts/lint.sh and the CI lint job perform via cmd/mcs-lint.
+func TestSelfApplication(t *testing.T) {
+	loader, err := NewLoader(moduleRoot(t))
+	if err != nil {
+		t.Fatal(err)
+	}
+	pkgs, err := loader.Load("./...")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(pkgs) == 0 {
+		t.Fatal("no packages loaded")
+	}
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("%s: type error: %v", pkg.Path, terr)
+		}
+	}
+	for _, d := range Run(pkgs, All()) {
+		t.Errorf("finding: %s", d)
+	}
+}

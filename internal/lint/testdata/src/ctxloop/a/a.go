@@ -1,0 +1,61 @@
+// Package a exercises the ctxloop analyzer: counter-driven work loops
+// in exported context-taking functions must observe a context; range
+// loops, builtin-only collection loops, unexported helpers, and
+// annotated sites are exempt.
+package a
+
+import "context"
+
+func work() {}
+
+func Search(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // want `work loop in exported Search never observes the context`
+		work()
+	}
+}
+
+func Checked(ctx context.Context, n int) error {
+	for i := 0; i < n; i++ {
+		if err := ctx.Err(); err != nil {
+			return err
+		}
+		work()
+	}
+	return nil
+}
+
+func Delegated(ctx context.Context, n int, eval func(context.Context) error) error {
+	for i := 0; i < n; i++ { // passing ctx to the work counts as observing it
+		if err := eval(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func Ranged(ctx context.Context, xs []int) {
+	for range xs { // range loops are exempt: trip count is materialized
+		work()
+	}
+}
+
+func Collect(ctx context.Context, n int) []int {
+	var out []int
+	for i := 0; i < n; i++ { // builtin-only loops are exempt
+		out = append(out, i)
+	}
+	return out
+}
+
+func helper(ctx context.Context, n int) {
+	for i := 0; i < n; i++ { // unexported: not an entry point
+		work()
+	}
+}
+
+func Allowed(ctx context.Context, n int) {
+	//mcs:allow ctxloop cheap in-memory setup, the caller's next ctx check is microseconds away
+	for i := 0; i < n; i++ {
+		work()
+	}
+}

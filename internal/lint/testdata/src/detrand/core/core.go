@@ -1,0 +1,10 @@
+// Package core simulates a deterministic layer (its path ends in a
+// layer segment): detrand findings here cannot be suppressed.
+package core
+
+import "math/rand"
+
+func Bad() int {
+	//mcs:allow detrand trying to annotate instead of fixing
+	return rand.Intn(3) // want `not honoured in deterministic layers`
+}

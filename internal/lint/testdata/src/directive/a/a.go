@@ -1,0 +1,21 @@
+// Package a exercises the directive hygiene checks: missing reasons,
+// unknown analyzer names, stale (unused) directives, and dangling
+// directives are all findings themselves.
+package a
+
+func MissingReason(f func()) {
+	//mcs:allow poolonly // want `needs a reason`
+	go f() // want `bare go statement`
+}
+
+func UnknownAnalyzer(f func()) {
+	//mcs:allow gofancy because reasons // want `unknown analyzer "gofancy"`
+	go f() // want `bare go statement`
+}
+
+//mcs:allow poolonly stale annotation left behind by a refactor // want `unused mcs:allow poolonly`
+func Clean() {}
+
+//mcs:allow poolonly nothing follows before the blank line // want `dangling mcs:allow poolonly`
+
+func AlsoClean() {}

@@ -1,0 +1,64 @@
+// Package a exercises the maporder analyzer: map ranges feeding
+// order-sensitive sinks fire unless the result is sorted afterwards,
+// the loop is commutative, or the site carries a proof annotation.
+package a
+
+import (
+	"fmt"
+	"sort"
+)
+
+func Collect(m map[string]int) []string {
+	var keys []string
+	for k := range m { // want `range over map feeds append`
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func CollectSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // collect-then-sort is the idiomatic fix
+		keys = append(keys, k)
+	}
+	sort.Strings(keys)
+	return keys
+}
+
+func CollectHelperSorted(m map[string]int) []string {
+	var keys []string
+	for k := range m { // a local sort helper after the loop also counts
+		keys = append(keys, k)
+	}
+	sortKeys(keys)
+	return keys
+}
+
+func sortKeys(keys []string) { sort.Strings(keys) }
+
+func PrintAll(w fmt.Stringer, m map[string]int) {
+	for k, v := range m { // want `order-sensitive call \(Println\)`
+		fmt.Println(k, v)
+	}
+}
+
+func Aggregate(m map[string]int) int {
+	total := 0
+	for _, v := range m { // commutative reduction: no sink, no finding
+		total += v
+	}
+	return total
+}
+
+func Sends(m map[string]int, out chan<- int) {
+	for _, v := range m { // want `range over map feeds a channel send`
+		out <- v
+	}
+}
+
+func Suppressed(m map[string]int, out chan<- int) {
+	//mcs:allow maporder receiver folds values commutatively, order cannot matter
+	for _, v := range m {
+		out <- v
+	}
+}

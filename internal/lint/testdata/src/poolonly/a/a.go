@@ -1,0 +1,12 @@
+// Package a exercises the poolonly analyzer: bare go statements fire
+// unless annotated with a reason.
+package a
+
+func Spawn(f func()) {
+	go f() // want `bare go statement`
+}
+
+func Allowed(f func()) {
+	//mcs:allow poolonly process-lifetime listener, not per-item fan-out
+	go f()
+}

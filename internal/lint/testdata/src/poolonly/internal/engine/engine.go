@@ -1,0 +1,8 @@
+// Package engine simulates the repo's internal/engine (its path
+// contains internal/engine): the pool implementation itself is
+// structurally exempt from poolonly.
+package engine
+
+func Spawn(f func()) {
+	go f()
+}

@@ -1,0 +1,14 @@
+// Package solve simulates a deterministic layer (its path ends in a
+// layer segment): wallclock findings here cannot be suppressed.
+package solve
+
+import "time"
+
+func Bad() time.Time {
+	return time.Now() // want `deterministic layer .* bit-identical replay`
+}
+
+func StillBad() time.Time {
+	//mcs:allow wallclock trying to annotate instead of threading timing in
+	return time.Now() // want `not honoured in deterministic layers`
+}

@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+)
+
+// wallclockFuncs are the time-package entry points that read the wall
+// clock or schedule on it. Any of them inside an analysis makes results
+// depend on machine speed and scheduling, which breaks the replay and
+// cache-hit-equals-cold-run contracts.
+var wallclockFuncs = map[string]bool{
+	"Now": true, "Since": true, "Until": true,
+	"Tick": true, "NewTicker": true, "NewTimer": true,
+	"After": true, "AfterFunc": true, "Sleep": true,
+}
+
+// Wallclock forbids wall-clock reads. In the deterministic layers the
+// finding cannot be suppressed — timing must be threaded in by the
+// caller; elsewhere (reporting, servers, CLIs) legitimate sites carry
+// an //mcs:allow wallclock annotation stating why timing never feeds
+// results.
+var Wallclock = &Analyzer{
+	Name: "wallclock",
+	Doc: "forbids wall-clock reads (time.Now, time.Since, tickers, timers); hard in the " +
+		"deterministic layers, annotation-gated everywhere else",
+	Hard: inDetLayer,
+	Run: func(p *Pass) {
+		for _, f := range p.Pkg.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				fn, ok := p.Pkg.Info.Uses[sel.Sel].(*types.Func)
+				if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "time" {
+					return true
+				}
+				if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+					return true // Duration/Time methods are pure value arithmetic
+				}
+				if !wallclockFuncs[fn.Name()] {
+					return true
+				}
+				if inDetLayer(p.Pkg.Path) {
+					p.Reportf(sel.Pos(), "time.%s in deterministic layer %s — wall-clock reads break bit-identical replay; thread timing in from the caller", fn.Name(), p.Pkg.Path)
+				} else {
+					p.Reportf(sel.Pos(), "wall-clock call time.%s — keep timing confined to reporting and annotate with //mcs:allow wallclock <reason>", fn.Name())
+				}
+				return true
+			})
+		}
+	},
+}

@@ -239,6 +239,7 @@ func OptimizeSchedule(ctx context.Context, app *model.Application, arch *model.A
 		parent := base.Clone()
 		parent.Round = round.Clone()
 		var cands []osCandidate
+		//mcs:allow ctxloop candidate generation is cheap in-memory setup; the position loop checks ctx and the batch evaluation is ctx-aware
 		for j := i; j < len(round.Slots); j++ {
 			lengths := opts.Hooks.slotLengths(app, arch, round.Slots[j].Node, opts.SlotCandidates)
 			for _, l := range lengths {

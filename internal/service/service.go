@@ -100,6 +100,10 @@ func New(opts Options) *Service {
 	}
 	s.runners.Add(opts.JobWorkers)
 	for i := 0; i < opts.JobWorkers; i++ {
+		// Job runners are the service's long-lived queue consumers, not
+		// per-request fan-out; the per-job parallelism inside a runner
+		// rides engine.Pool via the Solver sessions.
+		//mcs:allow poolonly long-lived job-queue runners; per-job fan-out rides engine.Pool inside the Solver
 		go func() {
 			defer s.runners.Done()
 			for j := range s.queue {
@@ -321,6 +325,7 @@ func (j *job) publish(p solve.Progress) {
 	ev.Seq = len(j.events) + 1
 	j.events = append(j.events, ev)
 	j.progress = &ev
+	//mcs:allow maporder every subscriber receives the same event and channels are independent, so delivery order across subscribers cannot affect any output
 	for ch := range j.subs {
 		select {
 		case ch <- ev:
@@ -541,6 +546,7 @@ func (s *Service) Drain(ctx context.Context) {
 	s.mu.Unlock()
 
 	finished := make(chan struct{})
+	//mcs:allow poolonly drain bridges the runners WaitGroup into a select against the grace ctx
 	go func() {
 		s.runners.Wait()
 		close(finished)
@@ -561,6 +567,7 @@ func (s *Service) Drain(ctx context.Context) {
 func (s *Service) cancelJobs(cause error) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
+	//mcs:allow maporder cancellation is idempotent per job and jobs are independent, so cancel order cannot affect any output
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}
@@ -599,6 +606,7 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st.Draining = s.draining
 	jobs := make([]*job, 0, len(s.jobs))
+	//mcs:allow maporder the snapshot only feeds commutative per-state counting below, so iteration order cannot affect the stats
 	for _, j := range s.jobs {
 		jobs = append(jobs, j)
 	}

@@ -1,0 +1,23 @@
+#!/usr/bin/env bash
+# The repo's one static gate: formatting, go vet, and the custom
+# determinism/concurrency analyzers (cmd/mcs-lint). CI's lint job and
+# the README quickstart both run exactly this script, so local runs and
+# CI can never drift.
+set -euo pipefail
+cd "$(dirname "$0")/.."
+
+echo "== gofmt =="
+out="$(gofmt -l .)"
+if [ -n "$out" ]; then
+  echo "gofmt needed on:" >&2
+  echo "$out" >&2
+  exit 1
+fi
+
+echo "== go vet =="
+go vet ./...
+
+echo "== mcs-lint =="
+go run ./cmd/mcs-lint ./...
+
+echo "static gate clean"
