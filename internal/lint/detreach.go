@@ -1,0 +1,181 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"strings"
+)
+
+// Detreach is the transitive determinism proof: from every exported
+// entry point of the hard deterministic layers it computes
+// reachability over the module call graph to nondeterministic sinks —
+// wall-clock reads, global math/rand, process environment reads, and
+// unsorted order-sensitive map ranges — and reports the full call
+// chain when one is reachable. The intraprocedural analyzers
+// (wallclock, detrand, maporder) already flag the sink sites
+// themselves; detreach closes the gap they leave open: a hard-layer
+// function calling a helper (possibly in a soft layer) that calls
+// time.Now passed every per-function check, yet its results depend on
+// the clock all the same.
+//
+// Suppression semantics are deliberately asymmetric. An //mcs:allow
+// on a wallclock/detrand/env sink justifies the *local* use ("timing
+// is reporting-only here") — it says nothing about callers, so
+// detreach ignores it and hard-layer chains to the site still fire;
+// such sites must be re-audited when a new chain forms. An //mcs:allow
+// maporder, by contrast, is an order-independence proof ("the fold is
+// commutative"), which holds for every caller — suppressed map ranges
+// are not sinks.
+//
+// Direct sinks inside an entry point itself (chain length 1) are the
+// intraprocedural analyzers' findings and are not re-reported here.
+var Detreach = &Analyzer{
+	Name: "detreach",
+	Doc: "proves hard-layer exported entry points cannot reach nondeterministic sinks " +
+		"(wall clock, global math/rand, os.Getenv, unsorted map ranges) through any call chain",
+	Hard: inDetLayer,
+	Run: func(p *Pass) {
+		if !inDetLayer(p.Pkg.Path) {
+			return
+		}
+		graph := p.Module.Graph()
+		sinks := moduleSinks(p.Module)
+		for _, f := range p.Pkg.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil || !fd.Name.IsExported() {
+					continue
+				}
+				obj, _ := p.Pkg.Info.Defs[fd.Name].(*types.Func)
+				if obj == nil {
+					continue
+				}
+				entry := graph.NodeFor(obj)
+				if entry == nil {
+					continue
+				}
+				chain := graph.ReachChain(entry, func(n *Node) bool {
+					return n != entry && len(sinks[n]) > 0
+				})
+				if chain == nil {
+					continue
+				}
+				s := sinks[chain[len(chain)-1]][0]
+				frames := make([]Frame, 0, len(chain)+1)
+				names := make([]string, 0, len(chain)+1)
+				for _, n := range chain {
+					pos := p.Pkg.Fset.Position(n.Pos)
+					frames = append(frames, Frame{Func: n.Name, File: pos.Filename, Line: pos.Line})
+					names = append(names, n.Name)
+				}
+				spos := p.Pkg.Fset.Position(s.pos)
+				frames = append(frames, Frame{Func: s.desc, File: spos.Filename, Line: spos.Line})
+				names = append(names, s.desc)
+				suffix := ""
+				if s.allowed {
+					suffix = " (the sink's //mcs:allow justifies only its own package — it does not exempt hard-layer callers)"
+				}
+				p.ReportChain(fd.Name.Pos(), frames,
+					"exported %s reaches nondeterministic %s — call chain: %s%s",
+					fd.Name.Name, s.desc, strings.Join(names, " -> "), suffix)
+			}
+		}
+	},
+}
+
+// sink is one nondeterministic site inside a function body.
+type sink struct {
+	desc    string    // "time.Now", "math/rand.Intn", "os.Getenv", "unsorted map range"
+	pos     token.Pos // the site
+	allowed bool      // an //mcs:allow covered the site locally
+}
+
+// moduleSinks computes (once per Run, cached on the Module) the
+// nondeterministic sinks directly contained in each graph node's own
+// statements.
+func moduleSinks(m *Module) map[*Node][]sink {
+	return m.fact("detreach.sinks", func() interface{} {
+		graph := m.Graph()
+		out := map[*Node][]sink{}
+		for _, pkg := range m.Pkgs {
+			dirs := parseDirectives(pkg)
+			allowedAt := func(name string, pos token.Pos) bool {
+				position := pkg.Fset.Position(pos)
+				for _, d := range dirs {
+					if d.analyzer == name && d.reason != "" &&
+						d.target == position.Line && d.pos.Filename == position.Filename {
+						return true
+					}
+				}
+				return false
+			}
+			for _, n := range graph.Nodes {
+				if n.Pkg != pkg {
+					continue
+				}
+				out[n] = append(out[n], nodeSinks(pkg, n, allowedAt)...)
+			}
+		}
+		return out
+	}).(map[*Node][]sink)
+}
+
+// nodeSinks scans one node's own statements (not nested literals —
+// those are their own nodes) for nondeterministic primitives.
+func nodeSinks(pkg *Package, n *Node, allowedAt func(string, token.Pos) bool) []sink {
+	var out []sink
+	inspectOwn(n.body, func(node ast.Node) bool {
+		switch node := node.(type) {
+		case *ast.SelectorExpr:
+			fn, ok := pkg.Info.Uses[node.Sel].(*types.Func)
+			if !ok || fn.Pkg() == nil {
+				return true
+			}
+			if sig, ok := fn.Type().(*types.Signature); !ok || sig.Recv() != nil {
+				return true
+			}
+			switch fn.Pkg().Path() {
+			case "time":
+				if wallclockFuncs[fn.Name()] {
+					out = append(out, sink{
+						desc:    "time." + fn.Name(),
+						pos:     node.Pos(),
+						allowed: allowedAt("wallclock", node.Pos()),
+					})
+				}
+			case "math/rand", "math/rand/v2":
+				if !randConstructors[fn.Name()] {
+					out = append(out, sink{
+						desc:    fn.Pkg().Path() + "." + fn.Name(),
+						pos:     node.Pos(),
+						allowed: allowedAt("detrand", node.Pos()),
+					})
+				}
+			case "os":
+				switch fn.Name() {
+				case "Getenv", "LookupEnv", "Environ":
+					out = append(out, sink{desc: "os." + fn.Name(), pos: node.Pos()})
+				}
+			}
+		case *ast.RangeStmt:
+			if !rangesOverMap(pkg, node) {
+				return true
+			}
+			if orderSensitiveSink(pkg, node.Body) == "" {
+				return true
+			}
+			if sortedAfter(pkg, n.body, node.End()) {
+				return true
+			}
+			// A reasoned maporder directive is an order-independence
+			// proof — valid for callers too, so not a sink.
+			if allowedAt("maporder", node.Pos()) {
+				return true
+			}
+			out = append(out, sink{desc: "unsorted map range", pos: node.Pos()})
+		}
+		return true
+	})
+	return out
+}

@@ -22,9 +22,11 @@ type Analyzer struct {
 	Run func(*Pass)
 }
 
-// All returns the full analyzer suite in reporting order.
+// All returns the full analyzer suite in reporting order: the five
+// intraprocedural checks, then the three interprocedural ones that
+// ride the shared call graph.
 func All() []*Analyzer {
-	return []*Analyzer{Detrand, Maporder, Wallclock, Poolonly, Ctxloop}
+	return []*Analyzer{Detrand, Maporder, Wallclock, Poolonly, Ctxloop, Detreach, Ctxflow, Sharedcapture}
 }
 
 // ByName resolves a comma-separated analyzer list against All,
@@ -59,7 +61,18 @@ func analyzerNames(as []*Analyzer) []string {
 	return names
 }
 
-// Diagnostic is one finding at a position.
+// Frame is one step of an interprocedural call chain attached to a
+// diagnostic: the function and the position of its declaration (for
+// the final frame, the nondeterministic site itself).
+type Frame struct {
+	Func string `json:"func"`
+	File string `json:"file"`
+	Line int    `json:"line"`
+}
+
+// Diagnostic is one finding at a position. Interprocedural findings
+// (detreach) carry the full call chain from the entry point to the
+// sink so the report is actionable without re-deriving the path.
 type Diagnostic struct {
 	Analyzer string         `json:"analyzer"`
 	Pos      token.Position `json:"-"`
@@ -67,21 +80,64 @@ type Diagnostic struct {
 	Line     int            `json:"line"`
 	Column   int            `json:"column"`
 	Message  string         `json:"message"`
+	Chain    []Frame        `json:"chain,omitempty"`
 }
 
 func (d Diagnostic) String() string {
 	return fmt.Sprintf("%s:%d:%d: %s [%s]", d.File, d.Line, d.Column, d.Message, d.Analyzer)
 }
 
-// Pass carries one analyzer's run over one package.
+// Module is the shared per-run state: the loaded packages and the
+// lazily built call graph. The graph is constructed at most once per
+// Run, on first use, and reused by every interprocedural analyzer —
+// type-checking and call resolution are never repeated per analyzer.
+type Module struct {
+	Pkgs  []*Package
+	graph *Graph
+	facts map[string]interface{}
+}
+
+// Graph returns the module call graph, building it on first use.
+func (m *Module) Graph() *Graph {
+	if m.graph == nil {
+		m.graph = buildGraph(m.Pkgs)
+	}
+	return m.graph
+}
+
+// fact memoizes a module-wide computation under key so analyzers can
+// share derived state (sink tables, directive indexes) across the
+// per-package pass loop without recomputing it.
+func (m *Module) fact(key string, build func() interface{}) interface{} {
+	if m.facts == nil {
+		m.facts = map[string]interface{}{}
+	}
+	if v, ok := m.facts[key]; ok {
+		return v
+	}
+	v := build()
+	m.facts[key] = v
+	return v
+}
+
+// Pass carries one analyzer's run over one package. Module gives
+// interprocedural analyzers the whole loaded set and the shared call
+// graph; diagnostics must still be reported at positions inside Pkg so
+// suppression directives resolve in the right file.
 type Pass struct {
 	Analyzer *Analyzer
 	Pkg      *Package
+	Module   *Module
 	report   func(Diagnostic)
 }
 
 // Reportf records a finding at pos.
 func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
+	p.ReportChain(pos, nil, format, args...)
+}
+
+// ReportChain records a finding at pos carrying a call chain.
+func (p *Pass) ReportChain(pos token.Pos, chain []Frame, format string, args ...interface{}) {
 	position := p.Pkg.Fset.Position(pos)
 	p.report(Diagnostic{
 		Analyzer: p.Analyzer.Name,
@@ -90,6 +146,7 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 		Line:     position.Line,
 		Column:   position.Column,
 		Message:  fmt.Sprintf(format, args...),
+		Chain:    chain,
 	})
 }
 
@@ -97,11 +154,12 @@ func (p *Pass) Reportf(pos token.Pos, format string, args ...interface{}) {
 // suppression (including directive hygiene findings), and returns the
 // surviving diagnostics sorted by file, line, column, analyzer.
 func Run(pkgs []*Package, analyzers []*Analyzer) []Diagnostic {
+	mod := &Module{Pkgs: pkgs}
 	var out []Diagnostic
 	for _, pkg := range pkgs {
 		var raw []Diagnostic
 		for _, a := range analyzers {
-			pass := &Pass{Analyzer: a, Pkg: pkg, report: func(d Diagnostic) { raw = append(raw, d) }}
+			pass := &Pass{Analyzer: a, Pkg: pkg, Module: mod, report: func(d Diagnostic) { raw = append(raw, d) }}
 			a.Run(pass)
 		}
 		out = append(out, applySuppression(pkg, raw, analyzers)...)

@@ -6,6 +6,7 @@ import (
 	"regexp"
 	"strconv"
 	"strings"
+	"sync"
 	"testing"
 )
 
@@ -17,6 +18,27 @@ func moduleRoot(t *testing.T) string {
 		t.Fatal(err)
 	}
 	return root
+}
+
+// The fixture tests share one Loader: every package (and the stdlib
+// packages the source importer pulls in) is parsed and type-checked
+// once for the whole test binary instead of once per test.
+var (
+	fixtureLoaderOnce sync.Once
+	fixtureLoader     *Loader
+	fixtureLoaderErr  error
+)
+
+func sharedLoader(t *testing.T) *Loader {
+	t.Helper()
+	root := moduleRoot(t)
+	fixtureLoaderOnce.Do(func() {
+		fixtureLoader, fixtureLoaderErr = NewLoader(root)
+	})
+	if fixtureLoaderErr != nil {
+		t.Fatal(fixtureLoaderErr)
+	}
+	return fixtureLoader
 }
 
 // want is one expectation parsed from a fixture's "// want" comments.
@@ -65,27 +87,31 @@ func parseWants(t *testing.T, pkg *Package) []*want {
 	return wants
 }
 
-// runFixture loads one fixture package, runs the analyzer over it, and
-// checks the diagnostics against the fixture's // want expectations —
-// every want must be hit, every diagnostic must be wanted.
-func runFixture(t *testing.T, a *Analyzer, fixture string) {
+// runFixture loads the fixture packages, runs the analyzer over them
+// together (interprocedural analyzers see one module-wide call graph),
+// and checks the diagnostics against the fixtures' // want
+// expectations — every want must be hit, every diagnostic wanted.
+func runFixture(t *testing.T, a *Analyzer, fixtures ...string) {
 	t.Helper()
-	loader, err := NewLoader(moduleRoot(t))
+	loader := sharedLoader(t)
+	patterns := make([]string, len(fixtures))
+	for i, fixture := range fixtures {
+		patterns[i] = "./internal/lint/testdata/src/" + fixture
+	}
+	pkgs, err := loader.Load(patterns...)
 	if err != nil {
 		t.Fatal(err)
 	}
-	pkgs, err := loader.Load("./internal/lint/testdata/src/" + fixture)
-	if err != nil {
-		t.Fatal(err)
+	if len(pkgs) != len(fixtures) {
+		t.Fatalf("fixtures %v: got %d packages, want %d", fixtures, len(pkgs), len(fixtures))
 	}
-	if len(pkgs) != 1 {
-		t.Fatalf("fixture %s: got %d packages, want 1", fixture, len(pkgs))
+	var wants []*want
+	for _, pkg := range pkgs {
+		for _, terr := range pkg.TypeErrors {
+			t.Errorf("fixture %s: type error: %v", pkg.Path, terr)
+		}
+		wants = append(wants, parseWants(t, pkg)...)
 	}
-	pkg := pkgs[0]
-	for _, terr := range pkg.TypeErrors {
-		t.Errorf("fixture %s: type error: %v", fixture, terr)
-	}
-	wants := parseWants(t, pkg)
 	for _, d := range Run(pkgs, []*Analyzer{a}) {
 		matched := false
 		for _, w := range wants {
@@ -113,6 +139,24 @@ func TestWallclockFixture(t *testing.T) {
 }
 func TestPoolonlyFixture(t *testing.T) { runFixture(t, Poolonly, "poolonly/a") }
 func TestCtxloopFixture(t *testing.T)  { runFixture(t, Ctxloop, "ctxloop/a") }
+func TestCtxflowFixture(t *testing.T)  { runFixture(t, Ctxflow, "ctxflow/a") }
+
+// The acceptance fixture for the call-graph engine: a hard-layer
+// entry point reaching time.Now through two intermediate helpers is
+// reported with the complete call chain, alongside the dynamic-call,
+// map-range, and transitive-proof cases.
+func TestDetreachFixture(t *testing.T) { runFixture(t, Detreach, "detreach/core") }
+
+// Cross-package reachability: a hard-layer entry calling into a soft
+// package whose sink carries a local //mcs:allow still fires — the
+// sink's annotation does not exempt transitive hard-layer callers.
+func TestDetreachCrossPackageSuppressedSink(t *testing.T) {
+	runFixture(t, Detreach, "detreach/solve", "detreach/util")
+}
+
+func TestSharedcaptureFixture(t *testing.T) {
+	runFixture(t, Sharedcapture, "sharedcapture/a", "sharedcapture/internal/engine")
+}
 
 // The deterministic layers refuse suppression for the bit-identity
 // analyzers: the annotated fixture sites still fire.

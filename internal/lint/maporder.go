@@ -11,17 +11,22 @@ import (
 // whose body feeds an order-sensitive sink — appending to a slice,
 // writing output, or feeding a hash/encoder — without a deterministic
 // order. Go randomizes map iteration per run, so any such loop makes
-// output depend on the iteration draw.
+// output depend on the iteration draw. The map's iterator forms
+// (maps.Keys, maps.Values, maps.All) randomize identically and are
+// treated the same as ranging over the map itself.
 //
-// The analyzer lets a loop off when the enclosing function sorts after
-// the loop (any call into sort or slices.Sort* lexically after the
-// range ends): collect-then-sort is the repo's idiomatic fix. Sites
-// where order provably cannot matter are annotated with
-// //mcs:allow maporder and the proof as the reason.
+// The analyzer lets a loop off when the order is deterministic by
+// construction: the range source is a sorting call — the idiomatic
+// `for _, k := range slices.Sorted(maps.Keys(m))` never fires and
+// needs no directive — or the enclosing function sorts after the loop
+// (any call into sort or slices.Sort* lexically after the range ends:
+// collect-then-sort). Sites where order provably cannot matter are
+// annotated with //mcs:allow maporder and the proof as the reason.
 var Maporder = &Analyzer{
 	Name: "maporder",
-	Doc: "flags range-over-map loops that append, write output, or feed a hash/encoder " +
-		"without an intervening sort — iterate sorted keys or sort the collected result",
+	Doc: "flags range-over-map loops (including maps.Keys/Values/All iterators) that append, " +
+		"write output, or feed a hash/encoder without an intervening sort — iterate " +
+		"slices.Sorted(maps.Keys(m)) or sort the collected result",
 	Run: func(p *Pass) {
 		for _, f := range p.Pkg.Files {
 			// Walk with explicit function tracking so each range can be
@@ -63,23 +68,49 @@ var Maporder = &Analyzer{
 }
 
 func checkRange(p *Pass, rs *ast.RangeStmt, fn ast.Node) {
-	tv, ok := p.Pkg.Info.Types[rs.X]
-	if !ok || tv.Type == nil {
+	if !rangesOverMap(p.Pkg, rs) {
 		return
 	}
-	if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
-		return
-	}
-	sink := orderSensitiveSink(p, rs.Body)
+	sink := orderSensitiveSink(p.Pkg, rs.Body)
 	if sink == "" {
 		return
 	}
-	if sortedAfter(p, fn, rs.End()) {
+	if sortedAfter(p.Pkg, fn, rs.End()) {
 		return
 	}
-	p.Reportf(rs.Pos(), "range over map feeds %s without a deterministic order — iterate sorted keys, sort the collected result, or prove order-independence with //mcs:allow maporder <reason>", sink)
+	p.Reportf(rs.Pos(), "range over map feeds %s without a deterministic order — iterate slices.Sorted(maps.Keys(m)), sort the collected result, or prove order-independence with //mcs:allow maporder <reason>", sink)
 	// Descend into the body anyway so nested ranges still get their own
 	// checks via the outer walker (Inspect there recurses past us).
+}
+
+// rangesOverMap reports whether the range statement draws from
+// randomized map iteration: the source is map-typed, or it is a direct
+// maps.Keys/maps.Values/maps.All iterator over a map. A sorting
+// wrapper (`slices.Sorted(maps.Keys(m))`) changes the source type to a
+// slice and the callee to slices, so it never matches.
+func rangesOverMap(pkg *Package, rs *ast.RangeStmt) bool {
+	if tv, ok := pkg.Info.Types[rs.X]; ok && tv.Type != nil {
+		if _, isMap := tv.Type.Underlying().(*types.Map); isMap {
+			return true
+		}
+	}
+	call, ok := ast.Unparen(rs.X).(*ast.CallExpr)
+	if !ok {
+		return false
+	}
+	sel, ok := ast.Unparen(call.Fun).(*ast.SelectorExpr)
+	if !ok {
+		return false
+	}
+	fn, ok := pkg.Info.Uses[sel.Sel].(*types.Func)
+	if !ok || fn.Pkg() == nil || fn.Pkg().Path() != "maps" {
+		return false
+	}
+	switch fn.Name() {
+	case "Keys", "Values", "All":
+		return true
+	}
+	return false
 }
 
 // orderSensitiveSinks are call names whose results depend on call
@@ -89,7 +120,7 @@ var orderSensitivePrefixes = []string{"Write", "Print", "Fprint", "Encode", "Sum
 // orderSensitiveSink reports what (if anything) inside the range body
 // observes iteration order: an append onto a slice, a write/print/
 // encode/hash call, or a channel send.
-func orderSensitiveSink(p *Pass, body *ast.BlockStmt) string {
+func orderSensitiveSink(pkg *Package, body *ast.BlockStmt) string {
 	sink := ""
 	ast.Inspect(body, func(n ast.Node) bool {
 		if sink != "" {
@@ -101,7 +132,7 @@ func orderSensitiveSink(p *Pass, body *ast.BlockStmt) string {
 		case *ast.CallExpr:
 			switch callee := n.Fun.(type) {
 			case *ast.Ident:
-				if b, ok := p.Pkg.Info.Uses[callee].(*types.Builtin); ok && b.Name() == "append" {
+				if b, ok := pkg.Info.Uses[callee].(*types.Builtin); ok && b.Name() == "append" {
 					sink = "append"
 				}
 			case *ast.SelectorExpr:
@@ -123,7 +154,7 @@ func orderSensitiveSink(p *Pass, body *ast.BlockStmt) string {
 // deterministic order lexically after pos — a call into sort,
 // slices.Sort*, or a local helper whose name says it sorts
 // (sortProcIDs, SortKeys, ...): the collect-then-sort idiom.
-func sortedAfter(p *Pass, fn ast.Node, pos token.Pos) bool {
+func sortedAfter(pkg *Package, fn ast.Node, pos token.Pos) bool {
 	found := false
 	ast.Inspect(fn, func(n ast.Node) bool {
 		if found {
@@ -140,7 +171,7 @@ func sortedAfter(p *Pass, fn ast.Node, pos token.Pos) bool {
 			}
 		case *ast.SelectorExpr:
 			if x, ok := callee.X.(*ast.Ident); ok {
-				if pn, ok := p.Pkg.Info.Uses[x].(*types.PkgName); ok {
+				if pn, ok := pkg.Info.Uses[x].(*types.PkgName); ok {
 					switch pn.Imported().Path() {
 					case "sort":
 						found = true

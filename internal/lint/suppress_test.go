@@ -1,0 +1,157 @@
+package lint
+
+import (
+	"fmt"
+	"go/ast"
+	"go/parser"
+	"go/token"
+	"strings"
+	"testing"
+)
+
+// parseSrc builds the minimal Package parseDirectives needs (Fset,
+// Files, Src) from one source string; no type-checking.
+func parseSrc(src string) (*Package, bool) {
+	fset := token.NewFileSet()
+	f, err := parser.ParseFile(fset, "src.go", src, parser.ParseComments)
+	if err != nil {
+		return nil, false
+	}
+	return &Package{
+		Fset:  fset,
+		Files: []*ast.File{f},
+		Src:   map[string][]byte{"src.go": []byte(src)},
+	}, true
+}
+
+// renderDirectives gives directives a canonical text form for
+// comparisons.
+func renderDirectives(dirs []*directive) string {
+	var b strings.Builder
+	for _, d := range dirs {
+		fmt.Fprintf(&b, "%d->%d %q %q\n", d.pos.Line, d.target, d.analyzer, d.reason)
+	}
+	return b.String()
+}
+
+// TestDirectivePlacement pins the placement semantics the suppression
+// scanner promises: trailing directives bind to their own line,
+// own-line directives to the next code line (stacking, skipping
+// comments), a blank line breaks the association, a nested // ends
+// the reason.
+func TestDirectivePlacement(t *testing.T) {
+	cases := []struct {
+		name string
+		src  string
+		want string
+	}{
+		{
+			name: "trailing binds to its own line",
+			src:  "package p\n\nfunc f() int {\n\treturn 1 //mcs:allow wallclock timing is reporting-only\n}\n",
+			want: "4->4 \"wallclock\" \"timing is reporting-only\"\n",
+		},
+		{
+			name: "own-line binds to the next code line",
+			src:  "package p\n\nfunc f() int {\n\t//mcs:allow detrand seeded upstream\n\treturn 1\n}\n",
+			want: "4->5 \"detrand\" \"seeded upstream\"\n",
+		},
+		{
+			name: "stacked own-line directives share one target",
+			src:  "package p\n\nfunc f() int {\n\t//mcs:allow detrand seeded upstream\n\t//mcs:allow wallclock reporting only\n\treturn 1\n}\n",
+			want: "4->6 \"detrand\" \"seeded upstream\"\n5->6 \"wallclock\" \"reporting only\"\n",
+		},
+		{
+			name: "comment lines are skipped on the way down",
+			src:  "package p\n\nfunc f() int {\n\t//mcs:allow detrand seeded upstream\n\t// explaining comment\n\treturn 1\n}\n",
+			want: "4->6 \"detrand\" \"seeded upstream\"\n",
+		},
+		{
+			name: "blank line leaves the directive dangling",
+			src:  "package p\n\nfunc f() int {\n\t//mcs:allow detrand seeded upstream\n\n\treturn 1\n}\n",
+			want: "4->0 \"detrand\" \"seeded upstream\"\n",
+		},
+		{
+			name: "nested comment ends the reason",
+			src:  "package p\n\nfunc f() int {\n\treturn 1 //mcs:allow wallclock reason here // want `x`\n}\n",
+			want: "4->4 \"wallclock\" \"reason here\"\n",
+		},
+		{
+			name: "missing reason is parsed with an empty reason",
+			src:  "package p\n\nfunc f() int {\n\treturn 1 //mcs:allow wallclock\n}\n",
+			want: "4->4 \"wallclock\" \"\"\n",
+		},
+		{
+			name: "bare directive has no analyzer",
+			src:  "package p\n\nfunc f() int {\n\treturn 1 //mcs:allow\n}\n",
+			want: "4->4 \"\" \"\"\n",
+		},
+		{
+			name: "directive at end of file dangles",
+			src:  "package p\n\nfunc f() int {\n\treturn 1\n}\n\n//mcs:allow detrand trailing nothing\n",
+			want: "7->0 \"detrand\" \"trailing nothing\"\n",
+		},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			pkg, ok := parseSrc(tc.src)
+			if !ok {
+				t.Fatal("fixture source does not parse")
+			}
+			if got := renderDirectives(parseDirectives(pkg)); got != tc.want {
+				t.Errorf("got:\n%swant:\n%s", got, tc.want)
+			}
+		})
+	}
+}
+
+// FuzzDirectiveParse drives the directive scanner with arbitrary
+// source and checks the invariants every analyzer relies on: the scan
+// never panics, is deterministic, directive positions land inside the
+// file, analyzer names carry no whitespace, and a resolved target is
+// a code line at or below the directive.
+func FuzzDirectiveParse(f *testing.F) {
+	f.Add("package p\n\nfunc f() int {\n\treturn 1 //mcs:allow wallclock reason\n}\n")
+	f.Add("package p\n\nfunc f() int {\n\t//mcs:allow detrand a b c\n\treturn 1\n}\n")
+	f.Add("package p\n\nvar x = 1 //mcs:allow\n")
+	f.Add("package p\n//mcs:allow maporder proof // trailing\nvar x = 1\n")
+	f.Add("package p\n\n//mcs:allow poolonly reason\n\nvar x = 1\n")
+	f.Add("package p\nvar x = \"//mcs:allow inside a string\"\n")
+	f.Fuzz(func(t *testing.T, src string) {
+		pkg, ok := parseSrc(src)
+		if !ok {
+			t.Skip("does not parse")
+		}
+		dirs := parseDirectives(pkg)
+		if again := renderDirectives(parseDirectives(pkg)); again != renderDirectives(dirs) {
+			t.Fatalf("two scans disagree:\n%s---\n%s", renderDirectives(dirs), again)
+		}
+		lines := strings.Split(src, "\n")
+		isCode := func(line int) bool {
+			if line < 1 || line > len(lines) {
+				return false
+			}
+			text := lines[line-1]
+			if i := strings.Index(text, "//"); i >= 0 {
+				text = text[:i]
+			}
+			return strings.TrimSpace(text) != ""
+		}
+		for _, d := range dirs {
+			if d.pos.Line < 1 || d.pos.Line > len(lines) {
+				t.Fatalf("directive position line %d outside file of %d lines", d.pos.Line, len(lines))
+			}
+			if strings.ContainsAny(d.analyzer, " \t\n") {
+				t.Errorf("analyzer name %q contains whitespace", d.analyzer)
+			}
+			if d.target == 0 {
+				continue
+			}
+			if d.target < d.pos.Line {
+				t.Errorf("target line %d above directive line %d", d.target, d.pos.Line)
+			}
+			if !isCode(d.target) {
+				t.Errorf("target line %d is not a code line", d.target)
+			}
+		}
+	})
+}

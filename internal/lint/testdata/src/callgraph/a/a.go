@@ -1,0 +1,45 @@
+// Package a exercises the call-graph resolution rules one by one:
+// static calls, CHA interface dispatch, passed-callback edges (and
+// the matching no-edge rule for parameter calls), store tracking
+// through variables and returns, and the address-taken signature
+// fallback. The graph tests assert the exact edges.
+package a
+
+// Doer has two implementors; an interface call links to both.
+type Doer interface{ Do(int) int }
+
+type Adder struct{}
+
+func (Adder) Do(n int) int { return n + 1 }
+
+type Doubler struct{}
+
+func (Doubler) Do(n int) int { return n * 2 }
+
+func UseIface(d Doer) int { return d.Do(3) }
+
+// apply calls through its parameter: the pass site owns that edge, so
+// apply itself has none.
+func apply(f func(int) int, n int) int { return f(n) }
+
+func double(n int) int { return n * 2 }
+
+// Passer links statically to apply and via a passed edge to double.
+func Passer(n int) int { return apply(double, n) }
+
+// MakeAdder returns a literal; a call through the stored result links
+// to it.
+func MakeAdder(k int) func(int) int {
+	return func(n int) int { return n + k }
+}
+
+func CallMade(n int) int {
+	f := MakeAdder(1)
+	return f(n)
+}
+
+// table's element escapes without a trackable store target: calls
+// through it fall back to signature matching over address-taken funcs.
+var table = map[string]func(int) int{"d": double}
+
+func CallTable(n int) int { return table["d"](n) }

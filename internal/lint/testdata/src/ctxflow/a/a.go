@@ -1,0 +1,55 @@
+// Package a exercises the ctxflow analyzer: a function that receives
+// a context.Context and calls a ctx-accepting callee must thread its
+// own ctx through, not mint a fresh root with context.Background() or
+// context.TODO().
+package a
+
+import "context"
+
+func work(ctx context.Context, n int) int { return n }
+
+func workVariadic(ctx context.Context, ns ...int) int { return len(ns) }
+
+func Broken(ctx context.Context) int {
+	return work(context.Background(), 1) // want `context.Background passed to a context-aware callee while the caller's ctx is in scope`
+}
+
+func BrokenTODO(ctx context.Context) int {
+	return work(context.TODO(), 2) // want `context.TODO passed to a context-aware callee while the caller's ctx is in scope`
+}
+
+func Fine(ctx context.Context) int {
+	return work(ctx, 3)
+}
+
+func Derived(ctx context.Context) int {
+	sub, cancel := context.WithCancel(ctx)
+	defer cancel()
+	return work(sub, 4)
+}
+
+func Root() int {
+	// No ctx in scope: a root context is the only option here.
+	return work(context.Background(), 5)
+}
+
+func Closure(ctx context.Context) func() int {
+	return func() int {
+		return work(context.Background(), 6) // want `context.Background passed to a context-aware callee while the caller's ctx is in scope`
+	}
+}
+
+func OwnCtx(ctx context.Context) func(context.Context) int {
+	return func(inner context.Context) int {
+		return work(inner, 7)
+	}
+}
+
+func Variadic(ctx context.Context) int {
+	return workVariadic(context.Background(), 1, 2, 3) // want `context.Background passed to a context-aware callee while the caller's ctx is in scope`
+}
+
+func Detached(ctx context.Context) int {
+	//mcs:allow ctxflow audit trail must survive caller cancellation
+	return work(context.Background(), 8)
+}

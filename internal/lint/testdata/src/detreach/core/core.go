@@ -1,0 +1,79 @@
+// Package core is a detreach fixture: a hard deterministic layer (the
+// path contains the "core" segment) whose exported entry points must
+// not reach nondeterministic sinks through any call chain. Direct
+// sinks are the intraprocedural analyzers' findings and are not
+// re-reported here.
+package core
+
+import (
+	"math/rand"
+	"time"
+)
+
+// Broken reaches time.Now through two intermediate helpers — the
+// chain the per-function analyzers cannot see.
+func Broken() time.Duration { // want `exported Broken reaches nondeterministic time.Now — call chain: core.Broken -> core.helperA -> core.helperB -> time.Now`
+	return helperA()
+}
+
+func helperA() time.Duration { return helperB() }
+
+func helperB() time.Duration {
+	t := time.Now()
+	return time.Since(t)
+}
+
+type hooks struct{ eval func(int) int }
+
+var defaultHooks = hooks{eval: jitter}
+
+func jitter(n int) int { return n + rand.Intn(3) }
+
+// Dyn reaches the global math/rand through a function value stored in
+// a struct field — resolved by the store-tracking rules.
+func Dyn(n int) int { // want `exported Dyn reaches nondeterministic math/rand.Intn — call chain: core.Dyn -> core.jitter -> math/rand.Intn`
+	return defaultHooks.eval(n)
+}
+
+// Collect reaches an unsorted order-sensitive map range one frame
+// down.
+func Collect(m map[string]int) []int { // want `exported Collect reaches nondeterministic unsorted map range — call chain: core.Collect -> core.flatten -> unsorted map range`
+	return flatten(m)
+}
+
+func flatten(m map[string]int) []int {
+	var out []int
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// Direct is chain length 1: wallclock owns that finding, detreach
+// stays quiet.
+func Direct() int64 {
+	return time.Now().UnixNano()
+}
+
+// proven carries an order-independence proof, which holds for callers
+// too — the suppressed map range is not a sink.
+func proven(m map[string]int) []int {
+	var out []int
+	//mcs:allow maporder fixture proof: the collected values feed a commutative fold
+	for _, v := range m {
+		out = append(out, v)
+	}
+	return out
+}
+
+// ProvenCaller stays clean because proven's proof is transitive.
+func ProvenCaller(m map[string]int) []int {
+	return proven(m)
+}
+
+// Clean never reaches a sink.
+func Clean(n int) int {
+	return helperClean(n) * 2
+}
+
+func helperClean(n int) int { return n + 1 }

@@ -5,6 +5,8 @@ package a
 
 import (
 	"fmt"
+	"maps"
+	"slices"
 	"sort"
 )
 
@@ -61,4 +63,43 @@ func Suppressed(m map[string]int, out chan<- int) {
 	for _, v := range m {
 		out <- v
 	}
+}
+
+func SortedKeysIter(m map[string]int) []string {
+	var out []string
+	for _, k := range slices.Sorted(maps.Keys(m)) { // sorted-keys iterator idiom: no directive needed
+		out = append(out, k)
+	}
+	return out
+}
+
+func KeysIter(m map[string]int) []string {
+	var out []string
+	for k := range maps.Keys(m) { // want `range over map feeds append`
+		out = append(out, k)
+	}
+	return out
+}
+
+func ValuesIter(m map[string]int, sink chan<- int) {
+	for v := range maps.Values(m) { // want `range over map feeds a channel send`
+		sink <- v
+	}
+}
+
+func AllIterSortedAfter(m map[string]int) []string {
+	var out []string
+	for k := range maps.All(m) { // collect-then-sort still lets the iterator off
+		out = append(out, k)
+	}
+	slices.Sort(out)
+	return out
+}
+
+func CollectedCopy(m map[string]int) []string {
+	var out []string
+	for k := range maps.Collect(maps.All(m)) { // want `range over map feeds append`
+		out = append(out, k)
+	}
+	return out
 }

@@ -1,0 +1,117 @@
+// Package a exercises the sharedcapture analyzer: closures handed to
+// engine.Pool batches (or launched as goroutines) must not write
+// shared captured state; index-disjoint slots, mutex guards, and
+// proven order-independent writes are the sanctioned escapes.
+package a
+
+import (
+	"context"
+	"sync"
+
+	"repro/internal/lint/testdata/src/sharedcapture/internal/engine"
+)
+
+func SharedWrite(ctx context.Context, pool *engine.Pool) (int, error) {
+	total := 0
+	_, err := pool.Map(ctx, 8, func(ctx context.Context, i int) (int, error) {
+		total += i // want `pool-batch closure writes captured "total" declared outside it`
+		return total, nil
+	})
+	return total, err
+}
+
+func Disjoint(ctx context.Context, pool *engine.Pool) ([]int, error) {
+	out := make([]int, 8)
+	_, err := pool.Map(ctx, 8, func(ctx context.Context, i int) (int, error) {
+		out[i] = i * i // index-disjoint slot: the sanctioned idiom
+		return out[i], nil
+	})
+	return out, err
+}
+
+func JobsSlice(ctx context.Context, pool *engine.Pool, costs []int) (int, error) {
+	best := 0
+	var jobs []func(context.Context) error
+	for _, c := range costs {
+		jobs = append(jobs, func(ctx context.Context) error {
+			if c > best {
+				best = c // want `pool-batch closure writes captured "best" declared outside it`
+			}
+			return nil
+		})
+	}
+	return best, pool.Sweep(ctx, jobs)
+}
+
+func Guarded(ctx context.Context, pool *engine.Pool) (int, error) {
+	var mu sync.Mutex
+	total := 0
+	_, err := pool.Map(ctx, 8, func(ctx context.Context, i int) (int, error) {
+		mu.Lock()
+		defer mu.Unlock()
+		total += i // serialized by the mutex: deliberate shared state
+		return total, nil
+	})
+	return total, err
+}
+
+func WritePair() int {
+	n := 0
+	done := make(chan struct{})
+	go func() {
+		n = 1 // want `goroutine writes captured "n" which the enclosing function also writes`
+		close(done)
+	}()
+	n = 2
+	<-done
+	return n
+}
+
+func Solo() {
+	ready := false
+	done := make(chan struct{})
+	go func() {
+		ready = true // only the goroutine writes it: no concurrent pair
+		close(done)
+	}()
+	<-done
+	_ = ready
+}
+
+func SharedIndex(ctx context.Context, pool *engine.Pool) ([]int, error) {
+	var i int
+	out := make([]int, 4)
+	var jobs []func(context.Context) error
+	for i = 0; i < 4; i++ {
+		jobs = append(jobs, func(ctx context.Context) error { // want `pool-batch closure captures loop variable "i" declared outside its loop`
+			out[i] = i
+			return nil
+		})
+	}
+	return out, pool.Sweep(ctx, jobs)
+}
+
+func PerIteration(ctx context.Context, pool *engine.Pool) ([]int, error) {
+	out := make([]int, 4)
+	var jobs []func(context.Context) error
+	for i := 0; i < 4; i++ {
+		// The loop header declares i: per-iteration copies since Go 1.22.
+		jobs = append(jobs, func(ctx context.Context) error {
+			out[i] = i
+			return nil
+		})
+	}
+	return out, pool.Sweep(ctx, jobs)
+}
+
+func Proven(ctx context.Context, pool *engine.Pool) (bool, error) {
+	hit := false
+	_, err := pool.Map(ctx, 8, func(ctx context.Context, i int) (int, error) {
+		if i == 3 {
+			//mcs:allow sharedcapture monotonic flag: every write stores true, order cannot matter
+			hit = true
+		}
+		return 0, nil
+	})
+	return hit, err
+}

@@ -1,0 +1,36 @@
+// Package engine is a miniature stand-in for the repo's worker pool:
+// its import path ends in internal/engine, which is how sharedcapture
+// recognizes batch-submission call sites. The fixture implementations
+// run sequentially — only the signatures matter to the analyzer.
+package engine
+
+import "context"
+
+// Pool is the fixture batch executor.
+type Pool struct{ workers int }
+
+// New returns a fixture pool.
+func New(workers int) *Pool { return &Pool{workers: workers} }
+
+// Map applies fn to every index in [0, n).
+func (p *Pool) Map(ctx context.Context, n int, fn func(context.Context, int) (int, error)) ([]int, error) {
+	out := make([]int, n)
+	for i := 0; i < n; i++ {
+		v, err := fn(ctx, i)
+		if err != nil {
+			return nil, err
+		}
+		out[i] = v
+	}
+	return out, nil
+}
+
+// Sweep runs every job.
+func (p *Pool) Sweep(ctx context.Context, jobs []func(context.Context) error) error {
+	for _, job := range jobs {
+		if err := job(ctx); err != nil {
+			return err
+		}
+	}
+	return nil
+}

@@ -5,7 +5,9 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"maps"
 	"runtime"
+	"slices"
 	"sync"
 
 	"repro/internal/core"
@@ -567,9 +569,8 @@ func (s *Service) Drain(ctx context.Context) {
 func (s *Service) cancelJobs(cause error) {
 	s.mu.Lock()
 	jobs := make([]*job, 0, len(s.jobs))
-	//mcs:allow maporder cancellation is idempotent per job and jobs are independent, so cancel order cannot affect any output
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	for _, id := range slices.Sorted(maps.Keys(s.jobs)) {
+		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {
@@ -606,9 +607,8 @@ func (s *Service) Stats() Stats {
 	s.mu.Lock()
 	st.Draining = s.draining
 	jobs := make([]*job, 0, len(s.jobs))
-	//mcs:allow maporder the snapshot only feeds commutative per-state counting below, so iteration order cannot affect the stats
-	for _, j := range s.jobs {
-		jobs = append(jobs, j)
+	for _, id := range slices.Sorted(maps.Keys(s.jobs)) {
+		jobs = append(jobs, s.jobs[id])
 	}
 	s.mu.Unlock()
 	for _, j := range jobs {

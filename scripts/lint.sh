@@ -18,6 +18,13 @@ echo "== go vet =="
 go vet ./...
 
 echo "== mcs-lint =="
-go run ./cmd/mcs-lint ./...
+# The JSON findings land in mcs-lint.json (CI uploads it as an
+# artifact); the human-readable rendering with call chains follows on
+# a failure so the log stays greppable.
+if ! go run ./cmd/mcs-lint -json ./... > mcs-lint.json; then
+  echo "mcs-lint findings:" >&2
+  go run ./cmd/mcs-lint ./... >&2 || true
+  exit 1
+fi
 
 echo "static gate clean"
