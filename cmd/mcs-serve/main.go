@@ -17,9 +17,17 @@
 // -grace to finish, stragglers are canceled and report their
 // best-so-far configurations, and the process exits 0.
 //
+// With -data-dir the service is durable: every job transition is
+// journaled to an append-only WAL before it is acknowledged, finished
+// results persist under the request key (served byte-identically on
+// resubmission, until -result-ttl), and a restart — graceful or kill
+// -9 — replays the journal: finished jobs stay pollable, unfinished
+// ones re-run ahead of new traffic. An empty -data-dir (the default)
+// keeps the purely in-memory behavior.
+//
 // Example:
 //
-//	mcs-serve -addr :8080 -workers 8 &
+//	mcs-serve -addr :8080 -workers 8 -data-dir /var/lib/mcs &
 //	mcs-gen -nodes 2 -seed 7 | jq '{system: ., strategy: "or"}' \
 //	  | curl -s -d @- localhost:8080/v1/synthesize
 package main
@@ -49,8 +57,29 @@ func main() {
 		cacheSize  = flag.Int("cache", 128, "cached Solver sessions (LRU)")
 		retention  = flag.Int("retention", 1024, "terminal jobs kept pollable (oldest-finished evicted first)")
 		grace      = flag.Duration("grace", 15*time.Second, "drain grace period before in-flight jobs are canceled to best-so-far")
+		dataDir    = flag.String("data-dir", "", "durability root (journal + persistent results); empty = in-memory only")
+		resultTTL  = flag.Duration("result-ttl", 24*time.Hour, "persistent result lifetime (with -data-dir); 0 = never expire")
+		segBytes   = flag.Int64("journal-segment-bytes", 0, "journal segment rotation size (with -data-dir); 0 = default 4MiB")
 	)
 	flag.Parse()
+
+	var st *repro.FileStore
+	if *dataDir != "" {
+		var err error
+		st, err = repro.OpenStore(*dataDir, repro.StoreOptions{
+			SegmentBytes: *segBytes,
+			ResultTTL:    *resultTTL,
+		})
+		if err != nil {
+			fatal(err)
+		}
+		_, rep := st.Replay()
+		log.Printf("mcs-serve: journal replayed from %s: %d records in %d segments", *dataDir, rep.Records, rep.Segments)
+		for _, torn := range rep.Torn {
+			log.Printf("mcs-serve: journal %s torn at %d: %d bytes dropped (%s)",
+				torn.Segment, torn.Offset, torn.Dropped, torn.Reason)
+		}
+	}
 
 	svc := repro.NewService(repro.ServiceOptions{
 		Workers:    *workers,
@@ -58,6 +87,7 @@ func main() {
 		QueueDepth: *queue,
 		CacheSize:  *cacheSize,
 		Retention:  *retention,
+		Store:      storeOrNil(st),
 	})
 	srv := &http.Server{Addr: *addr, Handler: repro.NewServiceHandler(svc)}
 
@@ -85,7 +115,21 @@ func main() {
 	if err := srv.Shutdown(drainCtx); err != nil && !errors.Is(err, context.DeadlineExceeded) {
 		srv.Close()
 	}
+	if st != nil {
+		if err := st.Close(); err != nil {
+			log.Printf("mcs-serve: closing store: %v", err)
+		}
+	}
 	log.Printf("mcs-serve: drained, exiting")
+}
+
+// storeOrNil keeps a nil *FileStore from becoming a non-nil Store
+// interface inside the service.
+func storeOrNil(st *repro.FileStore) repro.Store {
+	if st == nil {
+		return nil
+	}
+	return st
 }
 
 func fatal(err error) {

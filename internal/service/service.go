@@ -3,16 +3,19 @@ package service
 import (
 	"bytes"
 	"context"
+	"encoding/json"
 	"errors"
 	"fmt"
 	"maps"
 	"runtime"
 	"slices"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/core"
 	"repro/internal/dse"
 	"repro/internal/solve"
+	"repro/internal/store"
 )
 
 // Errors returned by Submit.
@@ -48,6 +51,17 @@ type Options struct {
 	// long-lived daemon's memory is bounded by its configuration, not
 	// by its traffic history.
 	Retention int
+	// Store is the durability layer: every job state transition is
+	// journaled to it before being acknowledged on the wire, finished
+	// results are persisted under the request key, and New replays its
+	// journal — unfinished jobs are re-enqueued, finished ones become
+	// pollable again with their durable results. Nil (the default)
+	// keeps today's purely in-memory behavior.
+	Store store.Store
+	// Clock stamps journal records and drives result TTL expiry
+	// (default store.SystemClock). Tests inject a fake clock;
+	// synthesis results never depend on it.
+	Clock store.Clock
 }
 
 func (o *Options) normalize() {
@@ -74,31 +88,59 @@ func (o *Options) normalize() {
 type Service struct {
 	opts    Options
 	cache   *solverCache
+	clock   store.Clock
 	queue   chan *job
 	runners sync.WaitGroup
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
 
+	storeErrs atomic.Int64 // non-fatal journal/result-store write failures
+
 	mu       sync.Mutex
+	st       store.Store // nil = in-memory only; tests clear it to simulate a crash
 	jobs     map[string]*job
 	terminal []string // finished job IDs, oldest first, for retention
 	nextID   int
 	draining bool
+	replayed int // jobs reconstructed from the journal at startup
+	requeued int // replayed jobs that were re-enqueued to run again
 }
 
 // New starts a Service: JobWorkers runner goroutines draw from the
-// bounded queue until Drain/Close.
+// bounded queue until Drain/Close. With a Store configured, New first
+// replays the journal: terminal jobs become pollable again (done
+// results load from the persistent result store), unfinished jobs are
+// re-enqueued ahead of new traffic, and the journal is compacted down
+// to the surviving state before the runners start.
 func New(opts Options) *Service {
 	opts.normalize()
 	ctx, cancel := context.WithCancel(context.Background())
 	s := &Service{
 		opts:       opts,
 		cache:      newSolverCache(opts.CacheSize),
-		queue:      make(chan *job, opts.QueueDepth),
+		clock:      opts.Clock,
+		st:         opts.Store,
 		baseCtx:    ctx,
 		cancelBase: cancel,
 		jobs:       make(map[string]*job),
+	}
+	if s.clock == nil {
+		s.clock = store.SystemClock()
+	}
+	pending := s.restore()
+	depth := opts.QueueDepth
+	if len(pending) > depth {
+		depth = len(pending) // every replayed job must be accepted back
+	}
+	s.queue = make(chan *job, depth)
+	for _, j := range pending {
+		s.queue <- j
+	}
+	if s.st != nil {
+		if _, rep := s.st.Replay(); rep.Records > 0 || rep.Segments > 1 || len(rep.Torn) > 0 {
+			s.compact() // rewrite replayed history down to live state
+		}
 	}
 	s.runners.Add(opts.JobWorkers)
 	for i := 0; i < opts.JobWorkers; i++ {
@@ -125,6 +167,14 @@ type job struct {
 	exploreReq  ExploreRequest
 	strategy    solve.Strategy
 	fingerprint string
+	// strategyName is the display name of strategy; replayed terminal
+	// jobs only have the name (the typed strategy died with the request).
+	strategyName string
+	// key is the persistent result cache key (fingerprint + option
+	// digest); rawReq is the journaled wire request, kept until the job
+	// is terminal so compaction can re-emit it.
+	key    string
+	rawReq json.RawMessage
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
@@ -147,12 +197,18 @@ func (s *Service) Submit(req SynthesisRequest) (*SubmitResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.enqueue(&job{
-		kind:        KindSynthesize,
-		req:         req,
-		strategy:    strat,
-		fingerprint: fp,
-	})
+	j := &job{
+		kind:         KindSynthesize,
+		req:          req,
+		strategy:     strat,
+		strategyName: strat.String(),
+		fingerprint:  fp,
+		key:          req.key(strat, fp),
+	}
+	if err := s.encodeRequest(j, &req); err != nil {
+		return nil, err
+	}
+	return s.enqueue(j)
 }
 
 // SubmitExplore validates and enqueues an asynchronous design-space
@@ -164,16 +220,40 @@ func (s *Service) SubmitExplore(req ExploreRequest) (*SubmitResponse, error) {
 	if err != nil {
 		return nil, err
 	}
-	return s.enqueue(&job{
-		kind:        KindExplore,
-		exploreReq:  req,
-		strategy:    solve.Explore,
-		fingerprint: fp,
-	})
+	j := &job{
+		kind:         KindExplore,
+		exploreReq:   req,
+		strategy:     solve.Explore,
+		strategyName: solve.Explore.String(),
+		fingerprint:  fp,
+		key:          req.key(fp),
+	}
+	if err := s.encodeRequest(j, &req); err != nil {
+		return nil, err
+	}
+	return s.enqueue(j)
 }
 
-// enqueue assigns an ID and a context to a validated job and offers it
-// to the bounded queue under the intake lock.
+// encodeRequest captures the wire request for the journal. Only needed
+// with a store: the encoding is what a crash-restarted service decodes
+// to re-run the job.
+func (s *Service) encodeRequest(j *job, req any) error {
+	if s.storeRef() == nil {
+		return nil
+	}
+	raw, err := json.Marshal(req)
+	if err != nil {
+		return fmt.Errorf("service: encoding request for the journal: %w", err)
+	}
+	j.rawReq = raw
+	return nil
+}
+
+// enqueue assigns an ID and a context to a validated job, journals the
+// submission, and offers it to the bounded queue under the intake
+// lock. The journal append happens after the capacity check but before
+// the acknowledgement: a rejected job leaves no record, an accepted
+// one is durable before its 202 exists.
 func (s *Service) enqueue(j *job) (*SubmitResponse, error) {
 	j.state = StateQueued
 	j.subs = make(map[chan ProgressEvent]struct{})
@@ -187,12 +267,25 @@ func (s *Service) enqueue(j *job) (*SubmitResponse, error) {
 	s.nextID++
 	j.id = fmt.Sprintf("j%06d-%s", s.nextID, j.fingerprint[:8])
 	j.ctx, j.cancel = context.WithCancelCause(s.baseCtx)
-	select {
-	case s.queue <- j:
-	default:
+	// Every send happens under s.mu and runners only drain, so a
+	// length check cannot race another producer.
+	if len(s.queue) == cap(s.queue) {
 		j.cancel(ErrQueueFull) // release the context before rejecting
 		return nil, ErrQueueFull
 	}
+	if err := s.appendRecord(s.st, store.Record{
+		Op:          store.OpSubmit,
+		Job:         j.id,
+		Kind:        string(j.kind),
+		Fingerprint: j.fingerprint,
+		Key:         j.key,
+		Strategy:    j.strategyName,
+		Request:     j.rawReq,
+	}); err != nil {
+		j.cancel(err)
+		return nil, fmt.Errorf("service: journaling submit: %w", err)
+	}
+	s.queue <- j
 	s.jobs[j.id] = j
 	return &SubmitResponse{
 		ID:          j.id,
@@ -217,13 +310,30 @@ func (s *Service) run(j *job) {
 	}
 	j.mu.Unlock()
 
+	st := s.storeRef()
+	s.appendRecord(st, store.Record{Op: store.OpStart, Job: j.id})
+	// Idempotent execution: an identical request that already finished
+	// — a duplicate client submission, or this very job replayed after
+	// a crash that hit between its completion and the finish record —
+	// is served from the persistent result store, byte-identical to
+	// the cold run that produced it.
+	if st != nil && j.key != "" {
+		if data, ok := st.GetResult(j.key); ok {
+			var res JobResult
+			if err := json.Unmarshal(data, &res); err == nil {
+				res.PersistentHit = true
+				s.finishJob(j, &res, nil)
+				return
+			}
+		}
+	}
+
 	base, hit, err := s.cache.getOrCreate(j.fingerprint, func() (*solve.Solver, error) {
 		return solve.New(sys.Application, sys.Architecture,
 			solve.WithWorkers(s.opts.Workers))
 	})
 	if err != nil {
-		j.finish(nil, err)
-		s.retire(j)
+		s.finishJob(j, nil, err)
 		return
 	}
 	// One base session per system serves every option variant and both
@@ -245,8 +355,50 @@ func (s *Service) run(j *job) {
 		res, err = session.Synthesize(j.ctx)
 		result, err = synthesisResult(res, err, hit)
 	}
+	s.finishJob(j, result, err)
+}
+
+// finishJob records the terminal transition: the in-memory state flip,
+// the persisted result (full, non-partial outcomes only — a canceled
+// job's best-so-far is not byte-identical to a cold run and must never
+// be served as one), the journal finish record, and retirement. The
+// result is stored before the finish record so a crash between the two
+// replays the job as unfinished and re-runs (or persistent-hits) it,
+// instead of leaving a done job with no loadable result.
+func (s *Service) finishJob(j *job, result *JobResult, err error) {
 	j.finish(result, err)
+	j.mu.Lock()
+	state, errMsg, res := j.state, j.errMsg, j.result
+	j.mu.Unlock()
+	if st := s.storeRef(); st != nil {
+		if state == StateDone && res != nil && !res.Partial && !res.PersistentHit && j.key != "" {
+			if blob, encErr := canonicalResult(res); encErr == nil {
+				if putErr := st.PutResult(j.key, blob); putErr != nil {
+					s.storeErrs.Add(1)
+				}
+			} else {
+				s.storeErrs.Add(1)
+			}
+		}
+		s.appendRecord(st, store.Record{
+			Op:    store.OpFinish,
+			Job:   j.id,
+			Key:   j.key,
+			State: string(state),
+			Error: errMsg,
+		})
+	}
 	s.retire(j)
+}
+
+// canonicalResult encodes a result for the persistent store with the
+// per-run flags cleared, so cached serves do not depend on how the
+// first run happened to execute (Solver-LRU hit or not).
+func canonicalResult(res *JobResult) ([]byte, error) {
+	c := *res
+	c.CacheHit = false
+	c.PersistentHit = false
+	return json.Marshal(&c)
 }
 
 // synthesisResult projects a synthesis outcome onto the wire result; a
@@ -288,11 +440,15 @@ func exploreResult(res *dse.Result, err error, cacheHit bool) (*JobResult, error
 
 // retire frees a terminal job's request payload (the decoded system is
 // the bulk of its footprint; the Solver cache keeps its own reference)
-// and evicts the oldest-finished jobs beyond the retention bound.
+// and evicts the oldest-finished jobs beyond the retention bound. With
+// a store, it also triggers journal compaction once the segment count
+// reaches its bound, so the journal footprint tracks live state rather
+// than traffic history.
 func (s *Service) retire(j *job) {
 	j.mu.Lock()
 	j.req = SynthesisRequest{}
 	j.exploreReq = ExploreRequest{}
+	j.rawReq = nil // terminal jobs compact to slim records; the payload is dead weight
 	j.mu.Unlock()
 	s.mu.Lock()
 	s.terminal = append(s.terminal, j.id)
@@ -301,6 +457,9 @@ func (s *Service) retire(j *job) {
 		s.terminal = s.terminal[1:]
 	}
 	s.mu.Unlock()
+	if st := s.storeRef(); st != nil && st.Stats().Segments >= compactAtSegments {
+		s.compact()
+	}
 }
 
 // publish fans a progress event out to the job's subscribers. Sends are
@@ -386,12 +545,16 @@ func (s *Service) Status(id string) (*JobStatus, error) {
 	}
 	j.mu.Lock()
 	defer j.mu.Unlock()
+	name := j.strategyName
+	if name == "" {
+		name = j.strategy.String()
+	}
 	st := &JobStatus{
 		ID:          j.id,
 		Kind:        j.kind,
 		State:       j.state,
 		Fingerprint: j.fingerprint,
-		Strategy:    j.strategy.String(),
+		Strategy:    name,
 		Progress:    j.progress,
 		Result:      j.result,
 		Error:       j.errMsg,
@@ -462,10 +625,28 @@ func (s *Service) Cancel(id string) error {
 		close(j.done)
 		j.mu.Unlock()
 		j.cancel(nil)
-		s.retire(j) // the runner skips terminal jobs, so retire here
+		// Queued jobs never reach finishJob (the runner skips terminal
+		// jobs), so journal the resolution and retire here.
+		if st := s.storeRef(); st != nil {
+			s.appendRecord(st, store.Record{
+				Op:    store.OpFinish,
+				Job:   j.id,
+				Key:   j.key,
+				State: store.StateCanceled,
+				Error: j.errMsg,
+			})
+		}
+		s.retire(j)
 		return nil
 	}
+	terminal := j.state.Terminal()
 	j.mu.Unlock()
+	if !terminal {
+		// Journal the cancellation intent before delivering it: if the
+		// process dies before the job winds down, replay resolves the
+		// job to canceled instead of re-running work nobody wants.
+		s.appendRecord(s.storeRef(), store.Record{Op: store.OpCancel, Job: j.id})
+	}
 	j.cancel(context.Canceled)
 	return nil
 }
@@ -598,14 +779,30 @@ type Stats struct {
 	CacheMisses int              `json:"cacheMisses"`
 	CacheSize   int              `json:"cacheSize"`
 	Draining    bool             `json:"draining"`
+	// Store reports the durability layer's counters; nil when the
+	// service runs purely in memory.
+	Store *StoreStats `json:"store,omitempty"`
 }
 
-// Stats snapshots the job and cache counters.
+// StoreStats merges the store's own counters with the service-level
+// replay outcome for /healthz.
+type StoreStats struct {
+	store.Stats
+	// ReplayedJobs counts jobs reconstructed from the journal at
+	// startup; RequeuedJobs of those were unfinished and re-enqueued.
+	ReplayedJobs int `json:"replayedJobs"`
+	RequeuedJobs int `json:"requeuedJobs"`
+	// Errors counts non-fatal store write failures since startup.
+	Errors int64 `json:"errors,omitempty"`
+}
+
+// Stats snapshots the job, cache and durability counters.
 func (s *Service) Stats() Stats {
 	st := Stats{Jobs: make(map[JobState]int)}
 	st.CacheHits, st.CacheMisses, st.CacheSize = s.cache.stats()
 	s.mu.Lock()
 	st.Draining = s.draining
+	dst, replayed, requeued := s.st, s.replayed, s.requeued
 	jobs := make([]*job, 0, len(s.jobs))
 	for _, id := range slices.Sorted(maps.Keys(s.jobs)) {
 		jobs = append(jobs, s.jobs[id])
@@ -615,6 +812,14 @@ func (s *Service) Stats() Stats {
 		j.mu.Lock()
 		st.Jobs[j.state]++
 		j.mu.Unlock()
+	}
+	if dst != nil {
+		st.Store = &StoreStats{
+			Stats:        dst.Stats(),
+			ReplayedJobs: replayed,
+			RequeuedJobs: requeued,
+			Errors:       s.storeErrs.Load(),
+		}
 	}
 	return st
 }

@@ -2,6 +2,8 @@ package service
 
 import (
 	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
 	"encoding/json"
 	"fmt"
 	"strings"
@@ -53,6 +55,19 @@ func (r *SynthesisRequest) normalize() (solve.Strategy, string, error) {
 	return strat, fp, nil
 }
 
+// key derives the persistent result cache key of a normalized request:
+// the system fingerprint plus a digest of every option that affects the
+// result. Two submissions share a key exactly when synthesis is
+// guaranteed to produce byte-identical results for them.
+func (r *SynthesisRequest) key(strat solve.Strategy, fp string) string {
+	return requestKey(KindSynthesize, fp, struct {
+		Strategy     string
+		Seed         int64
+		SAIterations int
+		SARestarts   int
+	}{strat.String(), r.Seed, r.SAIterations, r.SARestarts})
+}
+
 // solverOptions maps the request onto the session API's functional
 // options; solve.New normalizes the zero values.
 func (r *SynthesisRequest) solverOptions(strat solve.Strategy, workers int) []solve.Option {
@@ -101,6 +116,34 @@ func (r *ExploreRequest) normalize() (string, error) {
 		return "", err
 	}
 	return r.System.Fingerprint()
+}
+
+// key derives the persistent result cache key of a normalized
+// exploration request (see SynthesisRequest.key).
+func (r *ExploreRequest) key(fp string) string {
+	return requestKey(KindExplore, fp, struct {
+		Seed         int64
+		Population   int
+		Generations  int
+		MoveBudget   int
+		MaxMutations int
+		ArchiveCap   int
+		NoWarmStart  bool
+	}{r.Seed, r.Population, r.Generations, r.MoveBudget, r.MaxMutations, r.ArchiveCap, r.NoWarmStart})
+}
+
+// requestKey composes a result cache key: the full system fingerprint
+// (already a hex SHA-256) plus the first 8 bytes of a SHA-256 over the
+// job kind and the result-affecting options. The key doubles as the
+// result file name, so it sticks to fingerprint-alphabet characters.
+func requestKey(kind JobKind, fp string, opts any) string {
+	raw, err := json.Marshal(opts)
+	if err != nil {
+		// Options are plain value structs; Marshal cannot fail on them.
+		panic(fmt.Sprintf("service: encoding request key options: %v", err))
+	}
+	sum := sha256.Sum256(append(append([]byte(kind), 0), raw...))
+	return fp + "." + hex.EncodeToString(sum[:8])
 }
 
 // dseOptions maps the request onto the per-call exploration options;
@@ -248,6 +291,10 @@ type JobResult struct {
 	// CacheHit reports that the job ran on a cached Solver session; the
 	// result is bit-identical to a cold run either way.
 	CacheHit bool `json:"cacheHit"`
+	// PersistentHit reports that the result was served from the durable
+	// result store — byte-identical to the cold run that produced it —
+	// instead of being recomputed.
+	PersistentHit bool `json:"persistentHit,omitempty"`
 	// Partial marks a best-so-far result (configuration or front)
 	// returned by a canceled or drained job.
 	Partial bool `json:"partial,omitempty"`

@@ -1,0 +1,27 @@
+package store
+
+import "time"
+
+// Clock abstracts wall-clock reads (journal record timestamps, result
+// TTL expiry) so every consumer of the durability layer can run on a
+// fake clock in tests. The service and the stores share one Clock; the
+// only place the real time package is consulted is SystemClock.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }
+
+// SystemClock returns the real wall clock. This constructor is the one
+// sanctioned wall-clock seam of the durability layer: timestamps only
+// decorate journal records and drive TTL eviction, they never feed a
+// synthesis result, so determinism of replayed jobs is unaffected.
+func SystemClock() Clock {
+	//mcs:allow wallclock the single clock seam of the durability layer; timestamps drive TTL eviction and record metadata, never synthesis results
+	return ClockFunc(time.Now)
+}

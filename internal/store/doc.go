@@ -1,0 +1,39 @@
+// Package store is the durability layer under the synthesis service:
+// an append-only job journal (a write-ahead log of submit/start/cancel/
+// finish records) plus a persistent, TTL'd result store keyed by the
+// canonical system fingerprint, so a restarted mcs-serve re-runs the
+// jobs it had accepted and serves already-computed results byte-
+// identically to a cold run.
+//
+// The package deliberately knows nothing about the service's job types:
+// records carry opaque strings (kind, state, strategy) and raw request
+// payloads, so the journal grammar is stable against service-side
+// refactors and the Store interface can later be backed by an external
+// broker instead of the file-backed default.
+//
+// # Journal
+//
+// A journal is a directory of numbered segment files. Each record is a
+// JSON-encoded Record framed as
+//
+//	[4-byte little-endian payload length]
+//	[4-byte little-endian CRC-32C of the payload]
+//	[payload]
+//
+// Appends are fsynced before they are acknowledged, the active segment
+// rotates once it exceeds the configured size, and compaction rewrites
+// the sealed segments down to the live job state (see FileStore.Compact
+// for the crash-safety argument). Recovery keeps the longest valid
+// record prefix: a torn or corrupt frame stops replay at that point and
+// is reported — never silently dropped — through ReplayReport and
+// Stats.
+//
+// # Result store
+//
+// Results are opaque byte blobs keyed by the request key (system
+// fingerprint + option digest, computed by the service). A result older
+// than the configured TTL is evicted on lookup and during compaction
+// sweeps; TTL zero keeps results forever. Time is read through the
+// injected Clock so tests drive expiry on a fake clock; the system
+// clock lives behind the single SystemClock constructor.
+package store

@@ -1,0 +1,481 @@
+package store
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"sort"
+	"strings"
+	"sync"
+	"time"
+)
+
+// Options tunes a FileStore. Zero values select the defaults.
+type Options struct {
+	// SegmentBytes rotates the active journal segment once it reaches
+	// this size (default 4 MiB; floor 4 KiB). Smaller segments compact
+	// more often; the value never affects replayed state.
+	SegmentBytes int64
+	// ResultTTL evicts persisted results older than this on lookup and
+	// during compaction sweeps; zero keeps results forever.
+	ResultTTL time.Duration
+	// Clock supplies record timestamps and TTL decisions (default
+	// SystemClock).
+	Clock Clock
+}
+
+func (o *Options) normalize() {
+	if o.SegmentBytes <= 0 {
+		o.SegmentBytes = 4 << 20
+	}
+	if o.SegmentBytes < 4<<10 {
+		o.SegmentBytes = 4 << 10
+	}
+	if o.ResultTTL < 0 {
+		o.ResultTTL = 0
+	}
+	if o.Clock == nil {
+		o.Clock = SystemClock()
+	}
+}
+
+// FileStore is the pure-Go, file-backed Store: journal segments under
+// <dir>/journal, one result file per request key under <dir>/results.
+// It assumes a single writing process (the service); recovery happens
+// once, in Open.
+type FileStore struct {
+	dir  string
+	opts Options
+
+	mu         sync.Mutex
+	closed     bool
+	compacting bool
+	active     *os.File
+	activeIdx  int
+	activeSize int64
+	nextIdx    int
+	segs       []segInfo // every on-disk segment, ascending index
+
+	recs   []Record
+	report ReplayReport
+
+	appends, appendBytes          int64
+	compactions                   int64
+	stored, hits, misses, expired int64
+}
+
+type segInfo struct {
+	idx  int
+	size int64
+}
+
+const (
+	segPrefix = "seg-"
+	segSuffix = ".wal"
+)
+
+func segName(idx int) string { return fmt.Sprintf("%s%08d%s", segPrefix, idx, segSuffix) }
+
+// Open recovers the journal under dir (creating the layout on first
+// use): segments are replayed in order, the longest valid record
+// prefix is kept, a torn tail on the final segment is truncated away,
+// and corruption in an earlier segment stops replay there (later
+// segments are reported dropped and reclaimed by the next compaction).
+// Appends always start a fresh segment, so recovery never writes after
+// damage.
+func Open(dir string, opts Options) (*FileStore, error) {
+	opts.normalize()
+	s := &FileStore{dir: dir, opts: opts, nextIdx: 1}
+	for _, sub := range []string{s.journalDir(), s.resultsDir()} {
+		if err := os.MkdirAll(sub, 0o755); err != nil {
+			return nil, fmt.Errorf("store: %w", err)
+		}
+	}
+	names, err := sortedNames(s.journalDir())
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	damaged := false
+	for _, name := range names {
+		path := filepath.Join(s.journalDir(), name)
+		if strings.HasSuffix(name, ".tmp") {
+			os.Remove(path) // leftover of a compaction that never renamed
+			continue
+		}
+		var idx int
+		if _, err := fmt.Sscanf(name, segPrefix+"%d"+segSuffix, &idx); err != nil || segName(idx) != name {
+			continue // foreign file; leave it alone
+		}
+		if idx >= s.nextIdx {
+			s.nextIdx = idx + 1
+		}
+		data, err := os.ReadFile(path)
+		if err != nil {
+			return nil, fmt.Errorf("store: reading %s: %w", name, err)
+		}
+		if damaged {
+			// An earlier segment lost records; replaying later segments
+			// would reorder history. Keep the file for post-mortem until
+			// compaction reclaims it.
+			s.segs = append(s.segs, segInfo{idx: idx, size: int64(len(data))})
+			s.report.SegmentsDropped++
+			continue
+		}
+		recs, consumed, reason := decodeFrames(data)
+		s.recs = append(s.recs, recs...)
+		s.report.Segments++
+		s.report.Records += len(recs)
+		s.report.Bytes += consumed
+		size := int64(len(data))
+		if reason != "" {
+			s.report.Torn = append(s.report.Torn, TornTail{
+				Segment: name,
+				Offset:  consumed,
+				Dropped: size - consumed,
+				Reason:  reason,
+			})
+			// Truncate the invalid suffix so the on-disk journal is
+			// exactly the replayed prefix. Later segments (if any) hold
+			// records written after the lost ones and are dropped above.
+			if err := os.Truncate(path, consumed); err != nil {
+				return nil, fmt.Errorf("store: truncating torn tail of %s: %w", name, err)
+			}
+			size = consumed
+			damaged = true
+		}
+		s.segs = append(s.segs, segInfo{idx: idx, size: size})
+	}
+	return s, nil
+}
+
+func (s *FileStore) journalDir() string { return filepath.Join(s.dir, "journal") }
+func (s *FileStore) resultsDir() string { return filepath.Join(s.dir, "results") }
+
+// Replay returns the records recovered by Open, in append order.
+func (s *FileStore) Replay() ([]Record, ReplayReport) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	recs := make([]Record, len(s.recs))
+	copy(recs, s.recs)
+	rep := s.report
+	rep.Torn = append([]TornTail(nil), s.report.Torn...)
+	return recs, rep
+}
+
+// Append durably appends one record: frame, write, fsync, then rotate
+// the segment if it reached the size bound. An error means the record
+// must be treated as unwritten.
+func (s *FileStore) Append(rec Record) error {
+	frame, err := encodeFrame(nil, rec)
+	if err != nil {
+		return err
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: append on closed store")
+	}
+	if s.active != nil && s.activeSize > 0 && s.activeSize+int64(len(frame)) > s.opts.SegmentBytes {
+		s.sealActiveLocked()
+	}
+	if s.active == nil {
+		f, err := os.OpenFile(filepath.Join(s.journalDir(), segName(s.nextIdx)), os.O_CREATE|os.O_EXCL|os.O_WRONLY, 0o644)
+		if err != nil {
+			return fmt.Errorf("store: opening segment: %w", err)
+		}
+		s.active = f
+		s.activeIdx = s.nextIdx
+		s.activeSize = 0
+		s.nextIdx++
+		s.segs = append(s.segs, segInfo{idx: s.activeIdx})
+	}
+	if _, err := s.active.Write(frame); err != nil {
+		return fmt.Errorf("store: appending record: %w", err)
+	}
+	if err := s.active.Sync(); err != nil {
+		return fmt.Errorf("store: syncing journal: %w", err)
+	}
+	s.activeSize += int64(len(frame))
+	for i := range s.segs {
+		if s.segs[i].idx == s.activeIdx {
+			s.segs[i].size = s.activeSize
+		}
+	}
+	s.appends++
+	s.appendBytes += int64(len(frame))
+	return nil
+}
+
+// sealActiveLocked closes the active segment; the next append opens a
+// fresh one. Callers hold s.mu.
+func (s *FileStore) sealActiveLocked() {
+	if s.active != nil {
+		s.active.Close()
+		s.active = nil
+		s.activeSize = 0
+	}
+}
+
+// Compact rewrites the journal down to the live records, two-phase so
+// concurrent appends are never lost:
+//
+//  1. Under the lock: seal the active segment and reserve index C for
+//     the compacted segment. Appends from here on go to segments > C.
+//  2. Outside the lock: snapshot() collects the live records — it may
+//     take service locks, and appends may interleave freely.
+//  3. Under the lock: write the live records to seg-C.tmp, fsync,
+//     rename to seg-C.wal (atomic), then delete the sealed segments
+//     (< C) and sweep expired results.
+//
+// Every crash point replays to a superset of the live state: before
+// the rename the old segments are intact; after it, stale old records
+// are overridden by the compacted copies under Reduce's merge rules;
+// records appended during the snapshot live in segments after C either
+// way. Concurrent Compact calls coalesce (the second returns nil).
+func (s *FileStore) Compact(snapshot func() []Record) error {
+	s.mu.Lock()
+	if s.closed || s.compacting {
+		s.mu.Unlock()
+		return nil
+	}
+	s.compacting = true
+	s.sealActiveLocked()
+	compactIdx := s.nextIdx
+	s.nextIdx++
+	s.mu.Unlock()
+
+	finish := func(err error) error {
+		s.mu.Lock()
+		s.compacting = false
+		s.mu.Unlock()
+		return err
+	}
+
+	var buf []byte
+	var err error
+	for _, rec := range snapshot() {
+		if buf, err = encodeFrame(buf, rec); err != nil {
+			return finish(err)
+		}
+	}
+
+	name := segName(compactIdx)
+	tmp := filepath.Join(s.journalDir(), name+".tmp")
+	if err := writeFileSync(tmp, buf); err != nil {
+		return finish(fmt.Errorf("store: writing compacted segment: %w", err))
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.compacting = false
+	if s.closed {
+		os.Remove(tmp)
+		return fmt.Errorf("store: compact on closed store")
+	}
+	if err := os.Rename(tmp, filepath.Join(s.journalDir(), name)); err != nil {
+		os.Remove(tmp)
+		return fmt.Errorf("store: installing compacted segment: %w", err)
+	}
+	live := []segInfo{{idx: compactIdx, size: int64(len(buf))}}
+	for _, seg := range s.segs {
+		if seg.idx > compactIdx { // appended while snapshotting
+			live = append(live, seg)
+			continue
+		}
+		os.Remove(filepath.Join(s.journalDir(), segName(seg.idx)))
+	}
+	s.segs = live
+	s.compactions++
+	s.sweepResultsLocked()
+	return nil
+}
+
+// resultFile is the on-disk envelope of one persisted result.
+type resultFile struct {
+	Key    string          `json:"key"`
+	Unix   int64           `json:"unix"`
+	Result json.RawMessage `json:"result"`
+}
+
+// PutResult persists the canonical result bytes for a request key
+// (write-to-temp, fsync, atomic rename).
+func (s *FileStore) PutResult(key string, result []byte) error {
+	if !validKey(key) {
+		return fmt.Errorf("store: invalid result key %q", key)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed {
+		return fmt.Errorf("store: put on closed store")
+	}
+	blob, err := json.Marshal(resultFile{Key: key, Unix: s.opts.Clock.Now().Unix(), Result: result})
+	if err != nil {
+		return fmt.Errorf("store: encoding result: %w", err)
+	}
+	path := filepath.Join(s.resultsDir(), key+".json")
+	if err := writeFileSync(path+".tmp", blob); err != nil {
+		return fmt.Errorf("store: writing result: %w", err)
+	}
+	if err := os.Rename(path+".tmp", path); err != nil {
+		os.Remove(path + ".tmp")
+		return fmt.Errorf("store: installing result: %w", err)
+	}
+	s.stored++
+	return nil
+}
+
+// GetResult returns the unexpired result bytes for a key. Expired
+// entries are evicted on the way out; unreadable or foreign files are
+// misses, never errors — the caller recomputes and overwrites.
+func (s *FileStore) GetResult(key string) ([]byte, bool) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.closed || !validKey(key) {
+		s.misses++
+		return nil, false
+	}
+	path := filepath.Join(s.resultsDir(), key+".json")
+	data, err := os.ReadFile(path)
+	if err != nil {
+		s.misses++
+		return nil, false
+	}
+	var rf resultFile
+	if err := json.Unmarshal(data, &rf); err != nil || len(rf.Result) == 0 {
+		s.misses++
+		return nil, false
+	}
+	if s.expiredLocked(rf.Unix) {
+		os.Remove(path)
+		s.expired++
+		s.misses++
+		return nil, false
+	}
+	s.hits++
+	return rf.Result, true
+}
+
+// expiredLocked applies the TTL to a stored-at timestamp.
+func (s *FileStore) expiredLocked(unix int64) bool {
+	if s.opts.ResultTTL <= 0 {
+		return false
+	}
+	return s.opts.Clock.Now().Sub(time.Unix(unix, 0)) > s.opts.ResultTTL
+}
+
+// sweepResultsLocked deletes every expired result file, so the result
+// store's disk footprint is bounded by the TTL even for keys that are
+// never looked up again. Runs under s.mu during compaction.
+func (s *FileStore) sweepResultsLocked() {
+	if s.opts.ResultTTL <= 0 {
+		return
+	}
+	names, err := sortedNames(s.resultsDir())
+	if err != nil {
+		return
+	}
+	for _, name := range names {
+		if !strings.HasSuffix(name, ".json") {
+			continue
+		}
+		path := filepath.Join(s.resultsDir(), name)
+		data, err := os.ReadFile(path)
+		if err != nil {
+			continue
+		}
+		var rf resultFile
+		if err := json.Unmarshal(data, &rf); err != nil {
+			continue
+		}
+		if s.expiredLocked(rf.Unix) {
+			if os.Remove(path) == nil {
+				s.expired++
+			}
+		}
+	}
+}
+
+// Stats snapshots the durability counters.
+func (s *FileStore) Stats() Stats {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	st := Stats{
+		Segments:         len(s.segs),
+		Appends:          s.appends,
+		AppendBytes:      s.appendBytes,
+		ReplayedRecords:  s.report.Records,
+		TornTails:        len(s.report.Torn),
+		SegmentsDropped:  s.report.SegmentsDropped,
+		Compactions:      s.compactions,
+		ResultsStored:    s.stored,
+		PersistentHits:   s.hits,
+		PersistentMisses: s.misses,
+		ResultsExpired:   s.expired,
+	}
+	for _, seg := range s.segs {
+		st.JournalBytes += seg.size
+	}
+	return st
+}
+
+// Close seals the journal; further mutations fail. Idempotent.
+func (s *FileStore) Close() error {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	s.sealActiveLocked()
+	s.closed = true
+	return nil
+}
+
+// validKey admits fingerprint-derived keys (hex plus the '.' option
+// digest separator) and refuses anything that could escape the results
+// directory.
+func validKey(key string) bool {
+	if key == "" || len(key) > 300 {
+		return false
+	}
+	for _, r := range key {
+		switch {
+		case r >= 'a' && r <= 'z', r >= 'A' && r <= 'Z', r >= '0' && r <= '9':
+		case r == '.' || r == '-' || r == '_':
+		default:
+			return false
+		}
+	}
+	return !strings.HasPrefix(key, ".")
+}
+
+// writeFileSync writes data and fsyncs before closing, so a following
+// rename installs fully-durable content.
+func writeFileSync(path string, data []byte) error {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_TRUNC|os.O_WRONLY, 0o644)
+	if err != nil {
+		return err
+	}
+	if _, err := f.Write(data); err != nil {
+		f.Close()
+		return err
+	}
+	if err := f.Sync(); err != nil {
+		f.Close()
+		return err
+	}
+	return f.Close()
+}
+
+// sortedNames lists a directory deterministically.
+func sortedNames(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	names := make([]string, 0, len(entries))
+	for _, e := range entries {
+		if e.Type().IsRegular() {
+			names = append(names, e.Name())
+		}
+	}
+	sort.Strings(names)
+	return names, nil
+}

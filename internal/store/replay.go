@@ -1,0 +1,143 @@
+package store
+
+import "encoding/json"
+
+// JobSnapshot is the folded state of one job after replaying the
+// journal: what the service needs to either re-register a terminal job
+// (state, error, result key) or re-enqueue an unfinished one (the raw
+// request). States use the journal-level constants.
+type JobSnapshot struct {
+	ID          string
+	Kind        string
+	Fingerprint string
+	Key         string
+	Strategy    string
+	Request     json.RawMessage
+	State       string
+	Error       string
+	// CancelRequested reports an OpCancel seen without a terminal
+	// OpFinish; Reduce resolves such jobs to StateCanceled.
+	CancelRequested bool
+	// SubmitUnix and FinishUnix are the record timestamps (metadata).
+	SubmitUnix, FinishUnix int64
+}
+
+// Errors stamped onto snapshots the replay state machine resolves
+// itself rather than re-enqueueing.
+const (
+	// ErrCanceledBeforeRestart marks a job whose cancellation was
+	// journaled but whose finish never was (the process died first).
+	ErrCanceledBeforeRestart = "store: cancel requested before restart; not re-enqueued"
+	// ErrPayloadMissing marks an unfinished job whose submit record
+	// carries no request payload, so it cannot be re-run. The only
+	// writer producing payload-free submits is compaction of terminal
+	// jobs, so hitting this means the journal lost the finish record.
+	ErrPayloadMissing = "store: request payload missing from journal; job cannot be re-run"
+)
+
+// Reduce folds journal records into per-job snapshots — the replay
+// state machine. It is deliberately forgiving: records for unknown
+// jobs (a cancel whose submit fell off a torn tail) are dropped,
+// duplicate records merge field-wise with the last non-empty value
+// winning, and a terminal state is sticky — later start/cancel records
+// cannot resurrect a finished job. Those rules make replay idempotent
+// under the record duplication a crashed compaction can leave behind.
+//
+// Snapshots come back in first-submit order. Unfinished jobs resolve
+// to StateQueued (re-enqueue), unless a cancel was journaled
+// (StateCanceled) or the request payload is gone (StateFailed).
+func Reduce(recs []Record) []*JobSnapshot {
+	byID := make(map[string]*JobSnapshot)
+	var order []string
+	for _, r := range recs {
+		if r.Job == "" {
+			continue
+		}
+		js, known := byID[r.Job]
+		if !known {
+			if r.Op != OpSubmit {
+				continue // orphan record: its submit was lost to a torn tail
+			}
+			js = &JobSnapshot{ID: r.Job, State: StateQueued}
+			byID[r.Job] = js
+			order = append(order, r.Job)
+		}
+		switch r.Op {
+		case OpSubmit:
+			mergeSubmit(js, r)
+		case OpStart:
+			if !terminal(js.State) {
+				js.State = StateRunning
+			}
+		case OpCancel:
+			if !terminal(js.State) {
+				js.CancelRequested = true
+			}
+		case OpFinish:
+			if terminal(js.State) {
+				continue // first finish wins; duplicates are compaction echoes
+			}
+			js.FinishUnix = r.Unix
+			js.Error = r.Error
+			if terminal(r.State) {
+				js.State = r.State
+			} else {
+				// A finish record must name a terminal state; anything
+				// else is a corrupt-but-CRC-valid record. Fail the job
+				// rather than re-run work whose outcome was recorded.
+				js.State = StateFailed
+				if js.Error == "" {
+					js.Error = "store: finish record with non-terminal state " + r.State
+				}
+			}
+		}
+	}
+	out := make([]*JobSnapshot, 0, len(order))
+	for _, id := range order {
+		js := byID[id]
+		if !terminal(js.State) {
+			switch {
+			case js.CancelRequested:
+				js.State = StateCanceled
+				js.Error = ErrCanceledBeforeRestart
+			case len(js.Request) == 0:
+				js.State = StateFailed
+				js.Error = ErrPayloadMissing
+			default:
+				js.State = StateQueued // re-enqueue, even if it was running
+			}
+		}
+		out = append(out, js)
+	}
+	return out
+}
+
+// mergeSubmit folds a submit record into a snapshot, last non-empty
+// value winning. Compaction's slim re-submits (no payload) therefore
+// never erase an original full submit that is still on disk.
+func mergeSubmit(js *JobSnapshot, r Record) {
+	if r.Kind != "" {
+		js.Kind = r.Kind
+	}
+	if r.Fingerprint != "" {
+		js.Fingerprint = r.Fingerprint
+	}
+	if r.Key != "" {
+		js.Key = r.Key
+	}
+	if r.Strategy != "" {
+		js.Strategy = r.Strategy
+	}
+	if len(r.Request) > 0 {
+		js.Request = r.Request
+	}
+	if r.Unix != 0 {
+		js.SubmitUnix = r.Unix
+	}
+	if terminal(r.State) && !terminal(js.State) {
+		// Compaction emits terminal jobs as submit+finish pairs; accept
+		// the state on the submit too so a crash between the two writes
+		// (impossible for our writer, cheap to tolerate) stays safe.
+		js.State = r.State
+	}
+}

@@ -1,0 +1,117 @@
+package store
+
+import (
+	"encoding/json"
+	"testing"
+)
+
+func TestReduceLifecycles(t *testing.T) {
+	payload := json.RawMessage(`{"seed":1}`)
+	recs := []Record{
+		{Op: OpSubmit, Job: "a", Kind: "synthesize", Key: "ka", Request: payload, Unix: 10},
+		{Op: OpSubmit, Job: "b", Kind: "explore", Key: "kb", Request: payload, Unix: 11},
+		{Op: OpSubmit, Job: "c", Kind: "synthesize", Key: "kc", Request: payload, Unix: 12},
+		{Op: OpSubmit, Job: "d", Kind: "synthesize", Key: "kd", Request: payload, Unix: 13},
+		{Op: OpStart, Job: "a"},
+		{Op: OpFinish, Job: "a", Key: "ka", State: StateDone, Unix: 20},
+		{Op: OpStart, Job: "b"},  // running at crash: re-enqueue
+		{Op: OpCancel, Job: "c"}, // canceled, finish never journaled
+		// d stays queued.
+	}
+	snaps := Reduce(recs)
+	if len(snaps) != 4 {
+		t.Fatalf("Reduce produced %d snapshots, want 4", len(snaps))
+	}
+	byID := map[string]*JobSnapshot{}
+	for i, js := range snaps {
+		byID[js.ID] = js
+		if want := string(rune('a' + i)); js.ID != want {
+			t.Errorf("snapshot %d is %q, want submit order %q", i, js.ID, want)
+		}
+	}
+	if a := byID["a"]; a.State != StateDone || a.FinishUnix != 20 || a.Key != "ka" {
+		t.Errorf("finished job folded to %+v", a)
+	}
+	if b := byID["b"]; b.State != StateQueued {
+		t.Errorf("running-at-crash job folded to %q, want %q", b.State, StateQueued)
+	}
+	if c := byID["c"]; c.State != StateCanceled || c.Error != ErrCanceledBeforeRestart {
+		t.Errorf("cancel-without-finish folded to %+v", c)
+	}
+	if d := byID["d"]; d.State != StateQueued || d.SubmitUnix != 13 {
+		t.Errorf("queued job folded to %+v", d)
+	}
+}
+
+func TestReduceOrphanRecordsDropped(t *testing.T) {
+	snaps := Reduce([]Record{
+		{Op: OpStart, Job: "ghost"},
+		{Op: OpFinish, Job: "ghost", State: StateDone},
+		{Op: OpCancel, Job: ""},
+	})
+	if len(snaps) != 0 {
+		t.Fatalf("orphan records produced %d snapshots, want 0", len(snaps))
+	}
+}
+
+func TestReduceTerminalStateSticky(t *testing.T) {
+	snaps := Reduce([]Record{
+		{Op: OpSubmit, Job: "a", Request: json.RawMessage(`{}`)},
+		{Op: OpFinish, Job: "a", State: StateDone},
+		{Op: OpStart, Job: "a"},                      // late duplicate
+		{Op: OpCancel, Job: "a"},                     // must not resurrect
+		{Op: OpFinish, Job: "a", State: StateFailed}, // first finish wins
+	})
+	if len(snaps) != 1 || snaps[0].State != StateDone || snaps[0].CancelRequested {
+		t.Fatalf("terminal state not sticky: %+v", snaps[0])
+	}
+}
+
+func TestReduceCompactionDuplicatesIdempotent(t *testing.T) {
+	payload := json.RawMessage(`{"seed":9}`)
+	original := []Record{
+		{Op: OpSubmit, Job: "a", Kind: "synthesize", Key: "ka", Strategy: "OS", Request: payload, Unix: 10},
+		{Op: OpFinish, Job: "a", Key: "ka", State: StateDone, Unix: 20},
+		{Op: OpSubmit, Job: "b", Kind: "synthesize", Key: "kb", Request: payload, Unix: 11},
+	}
+	// A crashed compaction can leave the originals AND the compacted
+	// copies (slim submit without payload for terminal jobs): replay
+	// must fold both to the same state as the originals alone.
+	compacted := []Record{
+		{Op: OpSubmit, Job: "a", Kind: "synthesize", Key: "ka", Strategy: "OS", Unix: 30},
+		{Op: OpFinish, Job: "a", Key: "ka", State: StateDone, Unix: 30},
+		{Op: OpSubmit, Job: "b", Kind: "synthesize", Key: "kb", Request: payload, Unix: 30},
+	}
+	want := Reduce(original)
+	got := Reduce(append(append([]Record{}, original...), compacted...))
+	if len(got) != len(want) {
+		t.Fatalf("duplicated journal folded to %d snapshots, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i].ID != want[i].ID || got[i].State != want[i].State || got[i].Key != want[i].Key {
+			t.Errorf("snapshot %d: got %+v, want %+v", i, got[i], want[i])
+		}
+		if string(got[i].Request) != string(want[i].Request) {
+			t.Errorf("snapshot %d: slim duplicate erased the payload: %q", i, got[i].Request)
+		}
+	}
+}
+
+func TestReduceUnfinishedWithoutPayloadFails(t *testing.T) {
+	snaps := Reduce([]Record{
+		{Op: OpSubmit, Job: "a", Key: "ka"}, // no Request
+	})
+	if len(snaps) != 1 || snaps[0].State != StateFailed || snaps[0].Error != ErrPayloadMissing {
+		t.Fatalf("payload-free unfinished job folded to %+v", snaps[0])
+	}
+}
+
+func TestReduceNonTerminalFinishFails(t *testing.T) {
+	snaps := Reduce([]Record{
+		{Op: OpSubmit, Job: "a", Request: json.RawMessage(`{}`)},
+		{Op: OpFinish, Job: "a", State: "running"},
+	})
+	if len(snaps) != 1 || snaps[0].State != StateFailed || snaps[0].Error == "" {
+		t.Fatalf("corrupt finish state folded to %+v", snaps[0])
+	}
+}

@@ -2,14 +2,19 @@
 # Service integration smoke test: build mcs-serve with the race
 # detector, start it, run a scripted submit -> poll -> result round
 # trip plus an SSE read and a synchronous analyze, then SIGTERM it and
-# assert a clean (exit 0) drain. CI runs this as the service job;
-# locally: ./scripts/service_smoke.sh
+# assert a clean (exit 0) drain. A second, durable instance then proves
+# crash recovery: jobs submitted, kill -9 mid-synthesis, restart with
+# the same -data-dir, finished results served byte-identically and
+# unfinished jobs re-run. CI runs this as the service job; locally:
+# ./scripts/service_smoke.sh
 set -euo pipefail
 
 PORT="${PORT:-8931}"
 BASE="http://127.0.0.1:$PORT"
 WORKDIR="$(mktemp -d)"
-trap 'kill -9 "$SERVE_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
+SERVE_PID=""
+DUR_PID=""
+trap 'kill -9 "$SERVE_PID" "$DUR_PID" 2>/dev/null || true; rm -rf "$WORKDIR"' EXIT
 
 echo "== build (race) =="
 go build -race -o "$WORKDIR/mcs-serve" ./cmd/mcs-serve
@@ -118,5 +123,91 @@ echo "== drain (SIGTERM) =="
 kill -TERM "$SERVE_PID"
 EXIT=0
 wait "$SERVE_PID" || EXIT=$?
+SERVE_PID=""
 [ "$EXIT" -eq 0 ] || { echo "mcs-serve exited $EXIT after SIGTERM" >&2; exit 1; }
+
+echo "== durability: start with -data-dir =="
+DPORT=$((PORT + 1))
+DBASE="http://127.0.0.1:$DPORT"
+DATADIR="$WORKDIR/data"
+start_durable() {
+  "$WORKDIR/mcs-serve" -addr "127.0.0.1:$DPORT" -workers 2 -job-workers 1 \
+    -data-dir "$DATADIR" &
+  DUR_PID=$!
+  for _ in $(seq 1 100); do
+    curl -fsS "$DBASE/healthz" >/dev/null 2>&1 && break
+    sleep 0.2
+  done
+  curl -fsS "$DBASE/healthz" >/dev/null
+}
+start_durable
+
+echo "== durability: finish one job, crash another mid-synthesis =="
+AID="$(curl -fsS -d @"$WORKDIR/req.json" "$DBASE/v1/synthesize" | jq -re .id)"
+for _ in $(seq 1 300); do
+  AST="$(curl -fsS "$DBASE/v1/jobs/$AID")"
+  [ "$(echo "$AST" | jq -re .state)" = "done" ] && break
+  sleep 0.2
+done
+[ "$(echo "$AST" | jq -re .state)" = "done" ] || { echo "durable job stuck: $AST" >&2; exit 1; }
+# A huge exploration that cannot finish before the crash; wait for its
+# first progress event so it is provably mid-synthesis when we kill -9.
+BID="$(curl -fsS -d @"$WORKDIR/dselong.json" "$DBASE/v1/explore" | jq -re .id)"
+curl -fsS -N --max-time 30 "$DBASE/v1/jobs/$BID/events" | head -2 >/dev/null || true
+kill -9 "$DUR_PID"
+wait "$DUR_PID" 2>/dev/null || true
+DUR_PID=""
+
+echo "== durability: restart, replay, serve byte-identical =="
+start_durable
+HEALTH="$(curl -fsS "$DBASE/healthz")"
+echo "store after replay: $(echo "$HEALTH" | jq -c .store)"
+echo "$HEALTH" | jq -e '.store.replayedJobs >= 2' >/dev/null \
+  || { echo "replay lost jobs: $HEALTH" >&2; exit 1; }
+echo "$HEALTH" | jq -e '.store.requeuedJobs >= 1' >/dev/null \
+  || { echo "crashed mid-run job not requeued: $HEALTH" >&2; exit 1; }
+# The finished job survives the kill -9 with a byte-identical result.
+RST="$(curl -fsS "$DBASE/v1/jobs/$AID")"
+echo "$RST" | jq -e '.state == "done" and .result.persistentHit == true' >/dev/null \
+  || { echo "finished job not served durably after crash: $RST" >&2; exit 1; }
+diff <(echo "$AST" | jq -S .result.config) <(echo "$RST" | jq -S .result.config) >/dev/null \
+  || { echo "post-crash config differs from pre-crash config" >&2; exit 1; }
+diff <(echo "$AST" | jq -S .result.analysis) <(echo "$RST" | jq -S .result.analysis) >/dev/null \
+  || { echo "post-crash analysis differs from pre-crash analysis" >&2; exit 1; }
+echo "== durability: crashed mid-run job re-runs =="
+BSTATE="$(curl -fsS "$DBASE/v1/jobs/$BID" | jq -re .state)"
+case "$BSTATE" in queued|running) ;; *) echo "requeued job in state $BSTATE" >&2; exit 1;; esac
+# Proof of life after replay: it streams progress again; then cancel it
+# (it was sized never to finish, and it holds the only job runner) and
+# keep the partial front.
+curl -fsS -N --max-time 30 "$DBASE/v1/jobs/$BID/events" | head -2 >/dev/null || true
+curl -fsS -X DELETE "$DBASE/v1/jobs/$BID" >/dev/null
+for _ in $(seq 1 300); do
+  BST="$(curl -fsS "$DBASE/v1/jobs/$BID")"
+  [ "$(echo "$BST" | jq -re .state)" = "canceled" ] && break
+  sleep 0.2
+done
+echo "$BST" | jq -e '.state == "canceled" and .result.partial == true' >/dev/null \
+  || { echo "re-run job did not cancel to a partial front: $BST" >&2; exit 1; }
+
+echo "== durability: duplicate submit is a persistent hit =="
+# Resubmitting the identical request is a persistent cache hit, again
+# byte-identical to the pre-crash run.
+CID="$(curl -fsS -d @"$WORKDIR/req.json" "$DBASE/v1/synthesize" | jq -re .id)"
+for _ in $(seq 1 300); do
+  CST="$(curl -fsS "$DBASE/v1/jobs/$CID")"
+  [ "$(echo "$CST" | jq -re .state)" = "done" ] && break
+  sleep 0.2
+done
+echo "$CST" | jq -e '.result.persistentHit == true' >/dev/null \
+  || { echo "duplicate submit after crash recomputed instead of hitting the store" >&2; exit 1; }
+diff <(echo "$AST" | jq -S .result.config) <(echo "$CST" | jq -S .result.config) >/dev/null \
+  || { echo "persistent-hit config differs from pre-crash config" >&2; exit 1; }
+
+echo "== durability: drain (SIGTERM) =="
+kill -TERM "$DUR_PID"
+EXIT=0
+wait "$DUR_PID" || EXIT=$?
+DUR_PID=""
+[ "$EXIT" -eq 0 ] || { echo "durable mcs-serve exited $EXIT after SIGTERM" >&2; exit 1; }
 echo "service smoke test passed"

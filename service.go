@@ -4,6 +4,7 @@ import (
 	"net/http"
 
 	"repro/internal/service"
+	"repro/internal/store"
 )
 
 // Wire-level request/response types of the synthesis service: see
@@ -46,8 +47,25 @@ type (
 	AnalysisResponse = service.AnalysisResponse
 	AnalysisOutcome  = service.AnalysisOutcome
 	AnalysisSummary  = service.AnalysisSummary
-	// ServiceStats is the health-endpoint snapshot.
+	// ServiceStats is the health-endpoint snapshot; its Store section
+	// reports the durability counters when a Store is configured.
 	ServiceStats = service.Stats
+
+	// Store is the service's pluggable durability seam: a job-lifecycle
+	// journal plus a persistent result store. FileStore is the built-in
+	// file-backed implementation; ServiceOptions.Store accepts any
+	// implementation.
+	Store = store.Store
+	// StoreOptions tunes a FileStore (segment size, result TTL, clock).
+	StoreOptions = store.Options
+	// FileStore is the file-backed Store: an append-only CRC-framed
+	// journal with segment rotation and crash-safe compaction, and a
+	// TTL'd result directory keyed by request key.
+	FileStore = store.FileStore
+	// StoreStats snapshots a store's durability counters.
+	StoreStats = store.Stats
+	// ReplayReport summarizes journal recovery, including torn tails.
+	ReplayReport = store.ReplayReport
 )
 
 // Job lifecycle states.
@@ -82,8 +100,17 @@ var (
 
 // NewService starts a synthesis service: JobWorkers runner goroutines
 // execute queued jobs on cached Solver sessions. Stop it with
-// Service.Drain (graceful, best-so-far) or Service.Close.
+// Service.Drain (graceful, best-so-far) or Service.Close. With a Store
+// configured the service journals every job transition, persists
+// finished results, and replays unfinished jobs after a crash.
 func NewService(opts ServiceOptions) *Service { return service.New(opts) }
+
+// OpenStore opens (or creates) the file-backed durability store rooted
+// at dir: journal segments under dir/journal, results under
+// dir/results. Recovery happens here — torn tails are truncated and
+// reported, never silently dropped. Close the store after the service
+// has drained.
+func OpenStore(dir string, opts StoreOptions) (*FileStore, error) { return store.Open(dir, opts) }
 
 // NewServiceHandler exposes a Service over HTTP: POST /v1/synthesize,
 // GET /v1/jobs/{id}, GET /v1/jobs/{id}/events (SSE), DELETE
