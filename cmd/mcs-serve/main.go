@@ -8,10 +8,12 @@
 //	POST   /v1/explore          submit a Pareto exploration job (202 + job id)
 //	GET    /v1/jobs/{id}        poll status/result
 //	GET    /v1/jobs/{id}/events live progress (Server-Sent Events)
+//	GET    /v1/jobs/{id}/trace  per-job span tree (with -trace)
 //	DELETE /v1/jobs/{id}        cancel, keeping the best-so-far result
 //	POST   /v1/analyze          synchronous batch analysis
 //	GET    /v1/strategies       machine-readable synthesis strategy list
 //	GET    /healthz             liveness + job/cache statistics
+//	GET    /metrics             Prometheus text exposition (with -metrics)
 //
 // SIGTERM/SIGINT drain gracefully: intake stops, in-flight jobs get
 // -grace to finish, stragglers are canceled and report their
@@ -25,11 +27,15 @@
 // ones re-run ahead of new traffic. An empty -data-dir (the default)
 // keeps the purely in-memory behavior.
 //
+// Logs are structured (-log-format text or json) with job, kind and
+// fingerprint attributes on every job lifecycle line.
+//
 // Example:
 //
 //	mcs-serve -addr :8080 -workers 8 -data-dir /var/lib/mcs &
 //	mcs-gen -nodes 2 -seed 7 | jq '{system: ., strategy: "or"}' \
 //	  | curl -s -d @- localhost:8080/v1/synthesize
+//	curl -s localhost:8080/metrics | grep mcs_jobs_total
 package main
 
 import (
@@ -37,7 +43,7 @@ import (
 	"errors"
 	"flag"
 	"fmt"
-	"log"
+	"log/slog"
 	"net/http"
 	"os"
 	"os/signal"
@@ -60,12 +66,19 @@ func main() {
 		dataDir    = flag.String("data-dir", "", "durability root (journal + persistent results); empty = in-memory only")
 		resultTTL  = flag.Duration("result-ttl", 24*time.Hour, "persistent result lifetime (with -data-dir); 0 = never expire")
 		segBytes   = flag.Int64("journal-segment-bytes", 0, "journal segment rotation size (with -data-dir); 0 = default 4MiB")
+		metrics    = flag.Bool("metrics", true, "serve Prometheus metrics on GET /metrics")
+		trace      = flag.Bool("trace", true, "record per-job span trees, served on GET /v1/jobs/{id}/trace")
+		logFormat  = flag.String("log-format", "text", "log output format: text or json")
 	)
 	flag.Parse()
 
+	logger, err := newLogger(*logFormat)
+	if err != nil {
+		fatal(err)
+	}
+
 	var st *repro.FileStore
 	if *dataDir != "" {
-		var err error
 		st, err = repro.OpenStore(*dataDir, repro.StoreOptions{
 			SegmentBytes: *segBytes,
 			ResultTTL:    *resultTTL,
@@ -74,13 +87,17 @@ func main() {
 			fatal(err)
 		}
 		_, rep := st.Replay()
-		log.Printf("mcs-serve: journal replayed from %s: %d records in %d segments", *dataDir, rep.Records, rep.Segments)
+		logger.Info("journal replayed", "dir", *dataDir, "records", rep.Records, "segments", rep.Segments)
 		for _, torn := range rep.Torn {
-			log.Printf("mcs-serve: journal %s torn at %d: %d bytes dropped (%s)",
-				torn.Segment, torn.Offset, torn.Dropped, torn.Reason)
+			logger.Warn("journal tail torn",
+				"segment", torn.Segment, "offset", torn.Offset, "dropped", torn.Dropped, "reason", torn.Reason)
 		}
 	}
 
+	var registry *repro.MetricsRegistry // nil = disabled, zero overhead
+	if *metrics {
+		registry = repro.NewMetricsRegistry()
+	}
 	svc := repro.NewService(repro.ServiceOptions{
 		Workers:    *workers,
 		JobWorkers: *jobWorkers,
@@ -88,6 +105,9 @@ func main() {
 		CacheSize:  *cacheSize,
 		Retention:  *retention,
 		Store:      storeOrNil(st),
+		Metrics:    registry,
+		Tracing:    *trace,
+		Logger:     logger,
 	})
 	srv := &http.Server{Addr: *addr, Handler: repro.NewServiceHandler(svc)}
 
@@ -97,8 +117,9 @@ func main() {
 	errc := make(chan error, 1)
 	//mcs:allow poolonly process-lifetime HTTP listener; the serve/shutdown handshake needs a detached goroutine
 	go func() {
-		log.Printf("mcs-serve: listening on %s (job workers %d, queue %d, cache %d)",
-			*addr, *jobWorkers, *queue, *cacheSize)
+		logger.Info("listening",
+			"addr", *addr, "jobWorkers", *jobWorkers, "queue", *queue, "cache", *cacheSize,
+			"metrics", *metrics, "trace", *trace)
 		errc <- srv.ListenAndServe()
 	}()
 
@@ -108,7 +129,7 @@ func main() {
 	case <-ctx.Done():
 	}
 
-	log.Printf("mcs-serve: draining (grace %s)", *grace)
+	logger.Info("draining", "grace", *grace)
 	drainCtx, cancel := context.WithTimeout(context.Background(), *grace)
 	defer cancel()
 	svc.Drain(drainCtx) // in-flight jobs finish or keep best-so-far
@@ -117,10 +138,23 @@ func main() {
 	}
 	if st != nil {
 		if err := st.Close(); err != nil {
-			log.Printf("mcs-serve: closing store: %v", err)
+			logger.Error("closing store failed", "error", err)
 		}
 	}
-	log.Printf("mcs-serve: drained, exiting")
+	logger.Info("drained, exiting")
+}
+
+// newLogger builds the process logger in the selected format, writing
+// to stderr so job output redirection stays clean.
+func newLogger(format string) (*slog.Logger, error) {
+	switch format {
+	case "text":
+		return slog.New(slog.NewTextHandler(os.Stderr, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(os.Stderr, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 // storeOrNil keeps a nil *FileStore from becoming a non-nil Store

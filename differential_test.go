@@ -5,9 +5,11 @@ import (
 	"context"
 	"encoding/json"
 	"fmt"
+	"io"
 	"sort"
 	"sync"
 	"testing"
+	"time"
 
 	"repro"
 )
@@ -65,10 +67,27 @@ func (tr *transcript) canonical(t *testing.T) []byte {
 
 // replay runs one strategy (or the exploration, for StrategyCount) on
 // a fresh solver and returns its canonical transcript bytes.
+//
+// Every leg runs fully instrumented: a live metrics registry and a
+// trace with one span per run phase ride on the observer stream, on a
+// deterministic fake clock, exactly the shape the service attaches when
+// metrics and tracing are enabled. The transcripts must stay
+// byte-identical with the instrumentation attached — observability may
+// change how a run is watched, never what it computes.
 func replay(t *testing.T, sys *repro.System, strat repro.Strategy, explore bool, seed int64, workers int, delta bool) []byte {
 	t.Helper()
 	tr := &transcript{}
 	var mu sync.Mutex
+	reg := repro.NewMetricsRegistry()
+	seen := reg.Counter("diff_events_total", "observer events seen")
+	steps := reg.Histogram("diff_step", "step numbers observed", nil)
+	var ticks int64
+	trace := repro.NewTrace(repro.ObsClockFunc(func() time.Time {
+		ticks++
+		return time.Unix(ticks, 0)
+	}), "replay")
+	phase := ""
+	var span *repro.Span
 	solver, err := repro.NewSolver(sys.Application, sys.Architecture,
 		repro.WithSeed(seed),
 		repro.WithWorkers(workers),
@@ -78,11 +97,31 @@ func replay(t *testing.T, sys *repro.System, strat repro.Strategy, explore bool,
 		repro.WithObserver(repro.ObserverFunc(func(p repro.Progress) {
 			mu.Lock()
 			tr.Events = append(tr.Events, p)
+			seen.Inc()
+			steps.Observe(float64(p.Step))
+			if p.Phase != phase {
+				span.End()
+				phase = p.Phase
+				span = trace.Root().Start("phase:" + p.Phase)
+			}
 			mu.Unlock()
 		})))
 	if err != nil {
 		t.Fatal(err)
 	}
+	defer func() {
+		// The instrumentation must account for every event and render.
+		trace.End()
+		if got := seen.Value(); got != uint64(len(tr.Events)) {
+			t.Errorf("metrics saw %d events, transcript has %d", got, len(tr.Events))
+		}
+		if snap := trace.Snapshot(); snap.Root.EndUnixNano == 0 {
+			t.Errorf("trace root not closed")
+		}
+		if err := reg.WritePrometheus(io.Discard); err != nil {
+			t.Errorf("exposition failed: %v", err)
+		}
+	}()
 	ctx := context.Background()
 	if explore {
 		res, err := solver.Explore(ctx, repro.WithPopulation(6), repro.WithGenerations(2))

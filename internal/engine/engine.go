@@ -82,6 +82,7 @@ func Map[T any](ctx context.Context, p *Pool, n int, fn func(ctx context.Context
 	if workers > n {
 		workers = n
 	}
+	observeBatch(n, workers)
 	if workers <= 1 {
 		for i := 0; i < n; i++ {
 			if err := ctx.Err(); err != nil {

@@ -1,0 +1,21 @@
+package obs
+
+import "time"
+
+// Clock abstracts the time source of the observability layer: span
+// timestamps and phase-duration measurements all flow through it, so
+// tracing can run on a fake clock in tests (and inside the
+// differential bit-identity harness) and the package itself never
+// touches the wall clock. It mirrors store.Clock; the service adapts
+// its injected store clock with ClockFunc, so the repository gains no
+// new wall-clock site from this package.
+type Clock interface {
+	// Now returns the current time.
+	Now() time.Time
+}
+
+// ClockFunc adapts a function to the Clock interface.
+type ClockFunc func() time.Time
+
+// Now implements Clock.
+func (f ClockFunc) Now() time.Time { return f() }

@@ -1,0 +1,19 @@
+// Package obs is the unified observability layer of the service tier:
+// a concurrent metrics registry with Prometheus text exposition, a
+// per-job trace-span recorder, and the injected clock both run on.
+//
+// The package is deliberately a leaf: it imports nothing but the
+// standard library and never reads the wall clock itself — every
+// timestamp comes from an injected Clock, so the deterministic layers
+// (core, rta, solve, ...) stay wallclock-free and the differential
+// bit-identity harness can run with full instrumentation attached.
+// Instrumentation is also off-by-default-cheap: every method on a nil
+// *Registry, *Counter, *Gauge, *Histogram, *Trace or *Span is a no-op
+// that performs zero allocations, so "observability disabled" is the
+// nil pointer, not a flag checked on the hot path.
+//
+// The registry's exposition is deterministic: families sort by name,
+// series by label signature, so two scrapes of identical state are
+// byte-identical — the same property the rest of the repository
+// demands of its outputs.
+package obs

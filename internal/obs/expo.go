@@ -1,0 +1,99 @@
+package obs
+
+import (
+	"fmt"
+	"io"
+	"maps"
+	"math"
+	"slices"
+	"strconv"
+	"strings"
+)
+
+// WritePrometheus renders the registry in the Prometheus text
+// exposition format (version 0.0.4). The output is deterministic:
+// families sort by name, series by label signature, histogram buckets
+// by bound — two scrapes of identical state are byte-identical. The
+// nil registry renders nothing.
+func (r *Registry) WritePrometheus(w io.Writer) error {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	for _, name := range slices.Sorted(maps.Keys(r.families)) {
+		f := r.families[name]
+		if _, err := fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s %s\n",
+			f.name, escapeHelp(f.help), f.name, f.typ); err != nil {
+			return err
+		}
+		for _, sig := range slices.Sorted(maps.Keys(f.series)) {
+			if err := writeSeries(w, f, f.series[sig]); err != nil {
+				return err
+			}
+		}
+	}
+	return nil
+}
+
+// writeSeries renders one series: a single sample for counters and
+// gauges, the bucket/sum/count triple for histograms.
+func writeSeries(w io.Writer, f *family, s *series) error {
+	switch {
+	case s.hist != nil:
+		cum := uint64(0)
+		for i, bound := range s.hist.bounds {
+			cum += s.hist.counts[i].Load()
+			le := formatValue(bound)
+			if err := writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="`+le+`"`), float64(cum)); err != nil {
+				return err
+			}
+		}
+		cum += s.hist.counts[len(s.hist.bounds)].Load()
+		if err := writeSample(w, f.name+"_bucket", joinLabels(s.labels, `le="+Inf"`), float64(cum)); err != nil {
+			return err
+		}
+		if err := writeSample(w, f.name+"_sum", s.labels, s.hist.Sum()); err != nil {
+			return err
+		}
+		return writeSample(w, f.name+"_count", s.labels, float64(cum))
+	case s.fn != nil:
+		return writeSample(w, f.name, s.labels, s.fn())
+	case s.counter != nil:
+		return writeSample(w, f.name, s.labels, float64(s.counter.Value()))
+	case s.gauge != nil:
+		return writeSample(w, f.name, s.labels, s.gauge.Value())
+	}
+	return nil
+}
+
+// writeSample renders one exposition line.
+func writeSample(w io.Writer, name, labels string, v float64) error {
+	if labels == "" {
+		_, err := fmt.Fprintf(w, "%s %s\n", name, formatValue(v))
+		return err
+	}
+	_, err := fmt.Fprintf(w, "%s{%s} %s\n", name, labels, formatValue(v))
+	return err
+}
+
+// joinLabels appends one rendered label pair to a signature.
+func joinLabels(sig, extra string) string {
+	if sig == "" {
+		return extra
+	}
+	return sig + "," + extra
+}
+
+// formatValue renders a sample value: integers without a decimal
+// point, everything else in shortest round-trip form.
+func formatValue(v float64) string {
+	if math.IsInf(v, +1) {
+		return "+Inf"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+var helpEscaper = strings.NewReplacer(`\`, `\\`, "\n", `\n`)
+
+func escapeHelp(h string) string { return helpEscaper.Replace(h) }

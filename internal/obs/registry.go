@@ -1,0 +1,304 @@
+package obs
+
+import (
+	"fmt"
+	"math"
+	"sort"
+	"strings"
+	"sync"
+	"sync/atomic"
+)
+
+// Label is one metric dimension. Series of a family differ only in
+// their label values; the exposition sorts them deterministically.
+type Label struct{ Key, Value string }
+
+// L is shorthand for constructing a Label.
+func L(key, value string) Label { return Label{Key: key, Value: value} }
+
+// Registry is a concurrent metrics registry. The nil *Registry is the
+// disabled registry: every lookup returns a nil instrument and every
+// nil instrument method is an allocation-free no-op, so instrumented
+// code needs no flags. Instrument lookups are idempotent — the same
+// (name, labels) returns the same instrument — which makes lazy
+// registration on cold paths safe.
+type Registry struct {
+	mu       sync.Mutex
+	families map[string]*family
+}
+
+// Disabled is the disabled registry: a typed nil whose instruments are
+// all no-ops.
+var Disabled *Registry
+
+// NewRegistry returns an empty enabled registry.
+func NewRegistry() *Registry {
+	return &Registry{families: make(map[string]*family)}
+}
+
+// family groups the series of one metric name under one type and help
+// string.
+type family struct {
+	name, help, typ string
+	series          map[string]*series
+}
+
+// series is one (name, labels) instrument or scrape-time callback.
+type series struct {
+	labels  string // rendered {k="v",...} signature, "" for none
+	counter *Counter
+	gauge   *Gauge
+	hist    *Histogram
+	fn      func() float64
+}
+
+// Counter is a monotonically increasing metric. The nil Counter is a
+// no-op.
+type Counter struct{ v atomic.Uint64 }
+
+// Inc adds one.
+func (c *Counter) Inc() {
+	if c != nil {
+		c.v.Add(1)
+	}
+}
+
+// Add adds n.
+func (c *Counter) Add(n uint64) {
+	if c != nil {
+		c.v.Add(n)
+	}
+}
+
+// Value returns the current count (0 on the nil Counter).
+func (c *Counter) Value() uint64 {
+	if c == nil {
+		return 0
+	}
+	return c.v.Load()
+}
+
+// Gauge is a metric that can go up and down. The nil Gauge is a no-op.
+type Gauge struct{ bits atomic.Uint64 }
+
+// Set replaces the value.
+func (g *Gauge) Set(v float64) {
+	if g != nil {
+		g.bits.Store(math.Float64bits(v))
+	}
+}
+
+// Add adds d (negative d subtracts).
+func (g *Gauge) Add(d float64) {
+	if g == nil {
+		return
+	}
+	for {
+		old := g.bits.Load()
+		if g.bits.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+d)) {
+			return
+		}
+	}
+}
+
+// Inc adds one.
+func (g *Gauge) Inc() { g.Add(1) }
+
+// Dec subtracts one.
+func (g *Gauge) Dec() { g.Add(-1) }
+
+// Value returns the current value (0 on the nil Gauge).
+func (g *Gauge) Value() float64 {
+	if g == nil {
+		return 0
+	}
+	return math.Float64frombits(g.bits.Load())
+}
+
+// Histogram is a fixed-bucket histogram: bounds are the inclusive
+// upper bucket bounds in increasing order, with an implicit +Inf
+// bucket on top. The nil Histogram is a no-op.
+type Histogram struct {
+	bounds []float64
+	counts []atomic.Uint64 // len(bounds)+1; last is +Inf
+	sum    atomic.Uint64   // float64 bits
+}
+
+// Observe records one value.
+func (h *Histogram) Observe(v float64) {
+	if h == nil {
+		return
+	}
+	i := 0
+	for i < len(h.bounds) && v > h.bounds[i] {
+		i++
+	}
+	h.counts[i].Add(1)
+	for {
+		old := h.sum.Load()
+		if h.sum.CompareAndSwap(old, math.Float64bits(math.Float64frombits(old)+v)) {
+			return
+		}
+	}
+}
+
+// Count returns the total number of observations (0 on nil).
+func (h *Histogram) Count() uint64 {
+	if h == nil {
+		return 0
+	}
+	var total uint64
+	for i := range h.counts {
+		total += h.counts[i].Load()
+	}
+	return total
+}
+
+// Sum returns the sum of all observed values (0 on nil).
+func (h *Histogram) Sum() float64 {
+	if h == nil {
+		return 0
+	}
+	return math.Float64frombits(h.sum.Load())
+}
+
+// DurationBuckets are the default upper bounds (seconds) for latency
+// histograms: 1ms to 60s, roughly logarithmic — wide enough for both
+// a cache-served job and a long annealing run.
+var DurationBuckets = []float64{
+	0.001, 0.0025, 0.005, 0.01, 0.025, 0.05, 0.1, 0.25, 0.5, 1, 2.5, 5, 10, 30, 60,
+}
+
+// SizeBuckets are the default upper bounds for count-valued
+// histograms (batch sizes, front sizes): powers of two up to 4096.
+var SizeBuckets = []float64{1, 2, 4, 8, 16, 32, 64, 128, 256, 512, 1024, 2048, 4096}
+
+// Counter returns the counter for (name, labels), registering it on
+// first use. A nil registry returns the nil (no-op) counter; a name
+// already registered as a different metric type panics — that is a
+// programming error, not a runtime condition.
+func (r *Registry) Counter(name, help string, labels ...Label) *Counter {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked("counter", name, help, labels)
+	if s.counter == nil {
+		s.counter = &Counter{}
+	}
+	return s.counter
+}
+
+// Gauge returns the gauge for (name, labels), registering it on first
+// use (nil on the nil registry).
+func (r *Registry) Gauge(name, help string, labels ...Label) *Gauge {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked("gauge", name, help, labels)
+	if s.gauge == nil {
+		s.gauge = &Gauge{}
+	}
+	return s.gauge
+}
+
+// Histogram returns the histogram for (name, labels) with the given
+// bucket bounds, registering it on first use (nil on the nil
+// registry). Bounds must be sorted ascending; later lookups of an
+// existing series keep the original bounds.
+func (r *Registry) Histogram(name, help string, bounds []float64, labels ...Label) *Histogram {
+	if r == nil {
+		return nil
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	s := r.lookupLocked("histogram", name, help, labels)
+	if s.hist == nil {
+		if len(bounds) == 0 {
+			bounds = DurationBuckets
+		}
+		if !sort.Float64sAreSorted(bounds) {
+			panic(fmt.Sprintf("obs: histogram %s bounds not sorted: %v", name, bounds))
+		}
+		s.hist = &Histogram{
+			bounds: append([]float64(nil), bounds...),
+			counts: make([]atomic.Uint64, len(bounds)+1),
+		}
+	}
+	return s.hist
+}
+
+// CounterFunc registers a scrape-time counter series: fn is called at
+// exposition and must be safe for concurrent use. It adapts existing
+// monotonic counters (cache hit totals, store appends) without double
+// bookkeeping. No-op on the nil registry.
+func (r *Registry) CounterFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lookupLocked("counter", name, help, labels).fn = fn
+}
+
+// GaugeFunc registers a scrape-time gauge series (queue depth, journal
+// footprint); fn must be safe for concurrent use. No-op on the nil
+// registry.
+func (r *Registry) GaugeFunc(name, help string, fn func() float64, labels ...Label) {
+	if r == nil {
+		return
+	}
+	r.mu.Lock()
+	defer r.mu.Unlock()
+	r.lookupLocked("gauge", name, help, labels).fn = fn
+}
+
+// lookupLocked finds or creates the series for (name, labels) under
+// the given family type. Callers hold r.mu — instrument creation must
+// happen inside the same critical section as the series lookup, or two
+// concurrent registrations of one series race on the instrument field.
+func (r *Registry) lookupLocked(typ, name, help string, labels []Label) *series {
+	sig := renderLabels(labels)
+	f := r.families[name]
+	if f == nil {
+		f = &family{name: name, help: help, typ: typ, series: make(map[string]*series)}
+		r.families[name] = f
+	}
+	if f.typ != typ {
+		panic(fmt.Sprintf("obs: metric %s registered as %s, requested as %s", name, f.typ, typ))
+	}
+	s := f.series[sig]
+	if s == nil {
+		s = &series{labels: sig}
+		f.series[sig] = s
+	}
+	return s
+}
+
+// renderLabels renders a deterministic label signature: keys sorted,
+// values escaped, Prometheus text syntax without the braces.
+func renderLabels(labels []Label) string {
+	if len(labels) == 0 {
+		return ""
+	}
+	ls := append([]Label(nil), labels...)
+	sort.Slice(ls, func(i, j int) bool { return ls[i].Key < ls[j].Key })
+	var b strings.Builder
+	for i, l := range ls {
+		if i > 0 {
+			b.WriteByte(',')
+		}
+		b.WriteString(l.Key)
+		b.WriteString(`="`)
+		b.WriteString(escapeLabel(l.Value))
+		b.WriteByte('"')
+	}
+	return b.String()
+}
+
+var labelEscaper = strings.NewReplacer(`\`, `\\`, `"`, `\"`, "\n", `\n`)
+
+func escapeLabel(v string) string { return labelEscaper.Replace(v) }

@@ -1,0 +1,211 @@
+package obs
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"sync"
+	"testing"
+)
+
+func render(t *testing.T, r *Registry) string {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := r.WritePrometheus(&buf); err != nil {
+		t.Fatalf("WritePrometheus: %v", err)
+	}
+	return buf.String()
+}
+
+func TestCounterGaugeExposition(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("jobs_total", "jobs", L("state", "done"), L("kind", "synthesize"))
+	c.Inc()
+	c.Add(2)
+	if got := r.Counter("jobs_total", "jobs", L("kind", "synthesize"), L("state", "done")); got != c {
+		t.Fatalf("same (name, labels) in different order returned a different counter")
+	}
+	g := r.Gauge("queue_depth", "depth")
+	g.Set(4)
+	g.Dec()
+	out := render(t, r)
+	for _, want := range []string{
+		"# TYPE jobs_total counter\n",
+		`jobs_total{kind="synthesize",state="done"} 3` + "\n",
+		"# TYPE queue_depth gauge\n",
+		"queue_depth 3\n",
+	} {
+		if !strings.Contains(out, want) {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+}
+
+// Bucket boundaries are inclusive upper bounds: a value exactly on a
+// bound lands in that bucket, epsilon above lands in the next, and
+// everything beyond the last bound lands in +Inf only.
+func TestHistogramBucketBoundaries(t *testing.T) {
+	r := NewRegistry()
+	h := r.Histogram("lat", "latency", []float64{1, 2.5, 5})
+	for _, v := range []float64{0, 1, 1.0000001, 2.5, 5, 5.0000001, 1e9} {
+		h.Observe(v)
+	}
+	out := render(t, r)
+	for _, want := range []string{
+		`lat_bucket{le="1"} 2`,    // 0 and 1
+		`lat_bucket{le="2.5"} 4`,  // + 1.0000001 and 2.5
+		`lat_bucket{le="5"} 5`,    // + 5
+		`lat_bucket{le="+Inf"} 7`, // + 5.0000001 and 1e9
+		"lat_count 7",
+	} {
+		if !strings.Contains(out, want+"\n") {
+			t.Errorf("exposition missing %q:\n%s", want, out)
+		}
+	}
+	if got, want := h.Count(), uint64(7); got != want {
+		t.Errorf("Count() = %d, want %d", got, want)
+	}
+	if got := h.Sum(); math.Abs(got-(0+1+1.0000001+2.5+5+5.0000001+1e9)) > 1e-3 {
+		t.Errorf("Sum() = %v", got)
+	}
+}
+
+func TestScrapeFuncs(t *testing.T) {
+	r := NewRegistry()
+	depth := 7.0
+	r.GaugeFunc("depth", "d", func() float64 { return depth })
+	r.CounterFunc("hits_total", "h", func() float64 { return 42 }, L("cache", "solver"))
+	out := render(t, r)
+	if !strings.Contains(out, "depth 7\n") || !strings.Contains(out, `hits_total{cache="solver"} 42`+"\n") {
+		t.Errorf("scrape funcs missing:\n%s", out)
+	}
+	depth = 9
+	if !strings.Contains(render(t, r), "depth 9\n") {
+		t.Errorf("gauge func not re-evaluated per scrape")
+	}
+}
+
+// Two scrapes of identical state are byte-identical, and family/series
+// order is sorted regardless of registration order.
+func TestExpositionDeterministic(t *testing.T) {
+	build := func(order []string) string {
+		r := NewRegistry()
+		for _, name := range order {
+			r.Counter(name, "help "+name, L("k", name)).Inc()
+			r.Counter(name, "help "+name, L("k", "zz")).Add(2)
+		}
+		var buf bytes.Buffer
+		r.WritePrometheus(&buf)
+		return buf.String()
+	}
+	a := build([]string{"b_total", "a_total", "c_total"})
+	b := build([]string{"c_total", "b_total", "a_total"})
+	if a != b {
+		t.Errorf("exposition depends on registration order:\n%s\nvs\n%s", a, b)
+	}
+	if a != build([]string{"b_total", "a_total", "c_total"}) {
+		t.Errorf("repeated scrape differs")
+	}
+}
+
+func TestLabelEscaping(t *testing.T) {
+	r := NewRegistry()
+	r.Counter("weird_total", "w", L("err", "a\"b\\c\nd")).Inc()
+	out := render(t, r)
+	if !strings.Contains(out, `weird_total{err="a\"b\\c\nd"} 1`+"\n") {
+		t.Errorf("label escaping wrong:\n%s", out)
+	}
+}
+
+// The disabled (nil) registry and its nil instruments are no-ops that
+// never allocate — the contract that lets instrumentation sit on hot
+// paths unconditionally.
+func TestDisabledRegistryNoAllocs(t *testing.T) {
+	var r *Registry // = Disabled
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", DurationBuckets)
+	if c != nil || g != nil || h != nil {
+		t.Fatalf("disabled registry returned non-nil instruments")
+	}
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		c.Add(3)
+		g.Set(1)
+		g.Add(2)
+		h.Observe(0.5)
+	}); n != 0 {
+		t.Errorf("disabled instruments allocate: %v allocs/op", n)
+	}
+	var buf bytes.Buffer
+	if n := testing.AllocsPerRun(100, func() {
+		r.WritePrometheus(&buf)
+	}); n != 0 {
+		t.Errorf("disabled WritePrometheus allocates: %v allocs/op", n)
+	}
+	// The disabled trace and span are equally free.
+	var tr *Trace
+	if n := testing.AllocsPerRun(100, func() {
+		sp := tr.Root().Start("phase")
+		sp.SetAttr("k", "v")
+		sp.End()
+		tr.End()
+	}); n != 0 {
+		t.Errorf("disabled trace allocates: %v allocs/op", n)
+	}
+}
+
+// Enabled counters, gauges and histograms are allocation-free too:
+// enabling metrics must not put garbage on the evaluation hot path.
+func TestEnabledHotPathNoAllocs(t *testing.T) {
+	r := NewRegistry()
+	c := r.Counter("x_total", "x")
+	g := r.Gauge("g", "g")
+	h := r.Histogram("h", "h", DurationBuckets)
+	if n := testing.AllocsPerRun(100, func() {
+		c.Inc()
+		g.Add(1)
+		h.Observe(0.02)
+	}); n != 0 {
+		t.Errorf("enabled hot path allocates: %v allocs/op", n)
+	}
+}
+
+func TestConcurrentInstruments(t *testing.T) {
+	r := NewRegistry()
+	var wg sync.WaitGroup
+	for w := 0; w < 8; w++ {
+		wg.Add(1)
+		//mcs:allow poolonly test goroutines hammering the registry to give the race detector a target
+		go func() {
+			defer wg.Done()
+			for i := 0; i < 1000; i++ {
+				r.Counter("c_total", "c").Inc()
+				r.Gauge("g", "g").Add(1)
+				r.Histogram("h", "h", []float64{1, 10}).Observe(float64(i % 20))
+				if i%100 == 0 {
+					var buf bytes.Buffer
+					r.WritePrometheus(&buf)
+				}
+			}
+		}()
+	}
+	wg.Wait()
+	if got := r.Counter("c_total", "c").Value(); got != 8000 {
+		t.Errorf("counter = %d, want 8000", got)
+	}
+	if got := r.Histogram("h", "h", nil).Count(); got != 8000 {
+		t.Errorf("histogram count = %d, want 8000", got)
+	}
+}
+
+func TestTypeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Errorf("re-registering a counter as a gauge did not panic")
+		}
+	}()
+	r := NewRegistry()
+	r.Counter("x_total", "x")
+	r.Gauge("x_total", "x")
+}

@@ -1,0 +1,197 @@
+package obs
+
+import (
+	"maps"
+	"sync"
+	"time"
+)
+
+// Trace is a per-job span tree: a root span covering the whole job
+// with nested child spans for its stages (queue wait, solver acquire,
+// run phases, persistence). All timestamps come from the injected
+// Clock; a nil clock records zero times (the tree structure is still
+// useful, and stays deterministic). The nil *Trace and the nil *Span
+// are allocation-free no-ops, so tracing disabled is a nil pointer.
+//
+// Every span start and end is also appended to a flat, sequence-
+// numbered record stream — the ProgressEvent-style timestamped form —
+// so consumers that want a log rather than a tree replay the records.
+type Trace struct {
+	mu      sync.Mutex
+	clock   Clock
+	seq     int
+	root    *Span
+	records []TraceRecord
+}
+
+// Span is one node of a trace. Spans are created by Span.Start and
+// closed by Span.End; ending a span ends its still-open descendants
+// first, so a closed tree is always fully closed.
+type Span struct {
+	tr       *Trace
+	name     string
+	start    time.Time
+	end      time.Time
+	ended    bool
+	attrs    map[string]string
+	children []*Span
+}
+
+// TraceRecord is one timestamped span-lifecycle event, in emission
+// order. Seq is monotonic per trace, so gaps are detectable exactly
+// like the ProgressEvent sequence numbers on the SSE stream.
+type TraceRecord struct {
+	Seq      int    `json:"seq"`
+	UnixNano int64  `json:"unixNano,omitempty"`
+	Op       string `json:"op"` // "start" or "end"
+	Span     string `json:"span"`
+}
+
+// NewTrace starts a trace whose root span opens immediately. A nil
+// clock records zero timestamps.
+func NewTrace(clock Clock, name string) *Trace {
+	t := &Trace{clock: clock}
+	t.root = &Span{tr: t, name: name, start: t.now()}
+	t.record("start", name)
+	return t
+}
+
+// now reads the injected clock (zero time without one).
+func (t *Trace) now() time.Time {
+	if t.clock == nil {
+		return time.Time{}
+	}
+	return t.clock.Now()
+}
+
+// record appends one lifecycle record; callers hold t.mu or are the
+// constructor.
+func (t *Trace) record(op, span string) {
+	t.seq++
+	var ns int64
+	if now := t.now(); !now.IsZero() {
+		ns = now.UnixNano()
+	}
+	t.records = append(t.records, TraceRecord{Seq: t.seq, UnixNano: ns, Op: op, Span: span})
+}
+
+// Root returns the root span (nil on the nil trace).
+func (t *Trace) Root() *Span {
+	if t == nil {
+		return nil
+	}
+	return t.root
+}
+
+// End closes the trace: the root span and every still-open descendant.
+func (t *Trace) End() {
+	t.Root().End()
+}
+
+// Start opens a child span under s (no-op nil on the nil span or a
+// span already ended — late events after a job finished must not
+// resurrect the tree).
+func (s *Span) Start(name string) *Span {
+	if s == nil {
+		return nil
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.ended {
+		return nil
+	}
+	child := &Span{tr: t, name: name, start: t.now()}
+	s.children = append(s.children, child)
+	t.record("start", name)
+	return child
+}
+
+// End closes the span, first closing any still-open descendants
+// (post-order, one timestamp). Idempotent; no-op on nil.
+func (s *Span) End() {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	s.endLocked(t.now())
+}
+
+func (s *Span) endLocked(now time.Time) {
+	if s.ended {
+		return
+	}
+	for _, c := range s.children {
+		c.endLocked(now)
+	}
+	s.end = now
+	s.ended = true
+	s.tr.record("end", s.name)
+}
+
+// SetAttr attaches (or overwrites) a string attribute. No-op on nil.
+func (s *Span) SetAttr(key, value string) {
+	if s == nil {
+		return
+	}
+	t := s.tr
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if s.attrs == nil {
+		s.attrs = make(map[string]string)
+	}
+	s.attrs[key] = value
+}
+
+// TraceSnapshot is the exported form of a trace: the span tree plus
+// the flat record stream. JSON encoding is deterministic (attribute
+// maps marshal in key order).
+type TraceSnapshot struct {
+	Root    SpanSnapshot  `json:"root"`
+	Records []TraceRecord `json:"records,omitempty"`
+}
+
+// SpanSnapshot is one exported span. EndUnixNano is zero while the
+// span is still open.
+type SpanSnapshot struct {
+	Name            string            `json:"name"`
+	StartUnixNano   int64             `json:"startUnixNano,omitempty"`
+	EndUnixNano     int64             `json:"endUnixNano,omitempty"`
+	DurationSeconds float64           `json:"durationSeconds,omitempty"`
+	Attrs           map[string]string `json:"attrs,omitempty"`
+	Children        []SpanSnapshot    `json:"children,omitempty"`
+}
+
+// Snapshot exports the current state of the trace (nil on the nil
+// trace). Safe to call at any time, including while spans are open.
+func (t *Trace) Snapshot() *TraceSnapshot {
+	if t == nil {
+		return nil
+	}
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	return &TraceSnapshot{
+		Root:    t.root.snapshotLocked(),
+		Records: append([]TraceRecord(nil), t.records...),
+	}
+}
+
+func (s *Span) snapshotLocked() SpanSnapshot {
+	out := SpanSnapshot{Name: s.name}
+	if !s.start.IsZero() {
+		out.StartUnixNano = s.start.UnixNano()
+	}
+	if s.ended && !s.end.IsZero() {
+		out.EndUnixNano = s.end.UnixNano()
+		out.DurationSeconds = s.end.Sub(s.start).Seconds()
+	}
+	if len(s.attrs) > 0 {
+		out.Attrs = maps.Clone(s.attrs)
+	}
+	for _, c := range s.children {
+		out.Children = append(out.Children, c.snapshotLocked())
+	}
+	return out
+}

@@ -1,0 +1,101 @@
+package obs
+
+import (
+	"encoding/json"
+	"testing"
+	"time"
+)
+
+// tickClock is a deterministic clock advancing one millisecond per
+// read.
+type tickClock struct{ t time.Time }
+
+func (c *tickClock) Now() time.Time {
+	c.t = c.t.Add(time.Millisecond)
+	return c.t
+}
+
+func newTickClock() *tickClock {
+	return &tickClock{t: time.Unix(1000, 0)}
+}
+
+func TestTraceSpanTree(t *testing.T) {
+	tr := NewTrace(newTickClock(), "job")
+	tr.Root().SetAttr("kind", "synthesize")
+	queue := tr.Root().Start("queue")
+	queue.End()
+	run := tr.Root().Start("run")
+	os := run.Start("phase:os")
+	os.SetAttr("steps", "12")
+	os.End()
+	or := run.Start("phase:or")
+	_ = or // left open deliberately: End on the parent must close it
+	run.End()
+	tr.End()
+
+	snap := tr.Snapshot()
+	if snap.Root.Name != "job" || snap.Root.Attrs["kind"] != "synthesize" {
+		t.Fatalf("root = %+v", snap.Root)
+	}
+	if len(snap.Root.Children) != 2 {
+		t.Fatalf("children = %d, want 2 (queue, run)", len(snap.Root.Children))
+	}
+	runSnap := snap.Root.Children[1]
+	if runSnap.Name != "run" || len(runSnap.Children) != 2 {
+		t.Fatalf("run = %+v", runSnap)
+	}
+	for _, sp := range []SpanSnapshot{snap.Root, runSnap, runSnap.Children[0], runSnap.Children[1]} {
+		if sp.EndUnixNano == 0 || sp.EndUnixNano < sp.StartUnixNano {
+			t.Errorf("span %s not closed or reversed: start %d end %d", sp.Name, sp.StartUnixNano, sp.EndUnixNano)
+		}
+	}
+	if runSnap.Children[1].Name != "phase:or" || runSnap.Children[1].EndUnixNano != runSnap.EndUnixNano {
+		t.Errorf("open child not closed with its parent: %+v", runSnap.Children[1])
+	}
+
+	// The record stream is sequence-numbered, monotonic, and balanced:
+	// every span contributes one start and one end.
+	if len(snap.Records) != 10 {
+		t.Fatalf("records = %d, want 10 (5 spans x start+end)", len(snap.Records))
+	}
+	for i, rec := range snap.Records {
+		if rec.Seq != i+1 {
+			t.Errorf("record %d has seq %d", i, rec.Seq)
+		}
+		if i > 0 && rec.UnixNano < snap.Records[i-1].UnixNano {
+			t.Errorf("record %d timestamp moved backwards", i)
+		}
+	}
+}
+
+// A span started after its parent ended is dropped, not attached: late
+// observer events after job completion must not resurrect the tree.
+func TestTraceNoResurrection(t *testing.T) {
+	tr := NewTrace(newTickClock(), "job")
+	tr.End()
+	if sp := tr.Root().Start("late"); sp != nil {
+		t.Fatalf("Start after End returned a live span")
+	}
+	if n := len(tr.Snapshot().Root.Children); n != 0 {
+		t.Fatalf("late span attached: %d children", n)
+	}
+}
+
+// A nil clock yields zero timestamps but an intact, JSON-stable tree.
+func TestTraceNilClock(t *testing.T) {
+	tr := NewTrace(nil, "job")
+	tr.Root().Start("queue").End()
+	tr.End()
+	snap := tr.Snapshot()
+	if snap.Root.StartUnixNano != 0 || snap.Root.Children[0].EndUnixNano != 0 {
+		t.Fatalf("nil clock produced timestamps: %+v", snap.Root)
+	}
+	a, err := json.Marshal(snap)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, _ := json.Marshal(tr.Snapshot())
+	if string(a) != string(b) {
+		t.Fatalf("snapshot encoding unstable:\n%s\n%s", a, b)
+	}
+}

@@ -4,6 +4,7 @@ import (
 	"container/list"
 	"sync"
 
+	"repro/internal/delta"
 	"repro/internal/solve"
 )
 
@@ -67,4 +68,28 @@ func (c *solverCache) stats() (hits, misses, size int) {
 	c.mu.Lock()
 	defer c.mu.Unlock()
 	return c.hits, c.misses, c.ll.Len()
+}
+
+// deltaStats aggregates the incremental-evaluation counters across
+// every cached base session (derived sessions share their base's
+// caches, so this covers all live solver state). Evicted sessions take
+// their counts with them: the aggregate tracks the cache population,
+// which is what a hit-rate dashboard wants.
+func (c *solverCache) deltaStats() delta.Stats {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	var agg delta.Stats
+	for el := c.ll.Front(); el != nil; el = el.Next() {
+		st := el.Value.(*cacheEntry).solver.DeltaStats()
+		agg.ConfigHits += st.ConfigHits
+		agg.ConfigMisses += st.ConfigMisses
+		agg.Memo.ScheduleHits += st.Memo.ScheduleHits
+		agg.Memo.ScheduleMisses += st.Memo.ScheduleMisses
+		agg.Memo.RTAHits += st.Memo.RTAHits
+		agg.Memo.RTAMisses += st.Memo.RTAMisses
+		agg.Memo.RTAWarmStarts += st.Memo.RTAWarmStarts
+		agg.Memo.QueueHits += st.Memo.QueueHits
+		agg.Memo.QueueMisses += st.Memo.QueueMisses
+	}
+	return agg
 }

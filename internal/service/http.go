@@ -13,10 +13,12 @@ import (
 //	POST   /v1/explore          submit a DSE job        -> 202 SubmitResponse
 //	GET    /v1/jobs/{id}        poll status/result      -> 200 JobStatus
 //	GET    /v1/jobs/{id}/events SSE progress stream     -> progress*, done
+//	GET    /v1/jobs/{id}/trace  per-job span tree       -> 200 obs.TraceSnapshot
 //	DELETE /v1/jobs/{id}        cancel (keeps best-so-far)
 //	POST   /v1/analyze          synchronous batch       -> 200 AnalysisResponse
 //	GET    /v1/strategies       synthesis strategy list -> 200 StrategiesResponse
 //	GET    /healthz             liveness + Stats
+//	GET    /metrics             Prometheus text exposition
 //
 // Request and response bodies are the wire types of this package;
 // errors come back as {"error": "..."} with a matching status code
@@ -52,6 +54,14 @@ func NewHandler(s *Service) http.Handler {
 	mux.HandleFunc("GET /v1/jobs/{id}/events", func(w http.ResponseWriter, r *http.Request) {
 		s.serveEvents(w, r)
 	})
+	mux.HandleFunc("GET /v1/jobs/{id}/trace", func(w http.ResponseWriter, r *http.Request) {
+		tr, err := s.Trace(r.PathValue("id"))
+		if err != nil {
+			writeError(w, http.StatusNotFound, err)
+			return
+		}
+		writeJSON(w, http.StatusOK, tr)
+	})
 	mux.HandleFunc("POST /v1/analyze", func(w http.ResponseWriter, r *http.Request) {
 		var req AnalysisRequest
 		if err := decodeJSON(w, r, &req); err != nil {
@@ -67,6 +77,13 @@ func NewHandler(s *Service) http.Handler {
 	})
 	mux.HandleFunc("GET /healthz", func(w http.ResponseWriter, r *http.Request) {
 		writeJSON(w, http.StatusOK, s.Stats())
+	})
+	mux.HandleFunc("GET /metrics", func(w http.ResponseWriter, r *http.Request) {
+		// A service without a registry serves an empty (still valid)
+		// exposition rather than a 404, so scrapers need no
+		// configuration knowledge.
+		w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+		s.obsReg.WritePrometheus(w)
 	})
 	return mux
 }

@@ -6,14 +6,17 @@ import (
 	"encoding/json"
 	"errors"
 	"fmt"
+	"log/slog"
 	"maps"
 	"runtime"
 	"slices"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"repro/internal/core"
 	"repro/internal/dse"
+	"repro/internal/obs"
 	"repro/internal/solve"
 	"repro/internal/store"
 )
@@ -60,8 +63,21 @@ type Options struct {
 	Store store.Store
 	// Clock stamps journal records and drives result TTL expiry
 	// (default store.SystemClock). Tests inject a fake clock;
-	// synthesis results never depend on it.
+	// synthesis results never depend on it. The same clock feeds every
+	// observability timestamp (trace spans, latency histograms), so the
+	// service adds no wall-clock read of its own.
 	Clock store.Clock
+	// Metrics is the registry the service registers its instruments on;
+	// nil (the default) disables metrics at zero cost — the nil
+	// instruments compile to no-ops on the hot paths.
+	Metrics *obs.Registry
+	// Tracing records a per-job span tree (queue wait, solver
+	// acquisition, run phases, persistence) served on
+	// GET /v1/jobs/{id}/trace.
+	Tracing bool
+	// Logger receives structured job lifecycle logs with job, kind and
+	// fingerprint attributes; nil discards them.
+	Logger *slog.Logger
 }
 
 func (o *Options) normalize() {
@@ -94,6 +110,16 @@ type Service struct {
 
 	baseCtx    context.Context
 	cancelBase context.CancelFunc
+
+	// Observability plane: obsReg is nil when metrics are off (every
+	// derived instrument is then a no-op), obsClock adapts the injected
+	// store clock for trace timestamps, sseDropped is the pre-registered
+	// fan-out drop counter shared by every job.
+	obsReg     *obs.Registry
+	obsClock   obs.Clock
+	tracing    bool
+	log        *slog.Logger
+	sseDropped *obs.Counter
 
 	storeErrs atomic.Int64 // non-fatal journal/result-store write failures
 
@@ -128,6 +154,16 @@ func New(opts Options) *Service {
 	if s.clock == nil {
 		s.clock = store.SystemClock()
 	}
+	// Observability timestamps ride the same injected clock as the
+	// journal, so enabling metrics or tracing introduces no new
+	// wall-clock read site.
+	s.obsReg = opts.Metrics
+	s.obsClock = obs.ClockFunc(s.clock.Now)
+	s.tracing = opts.Tracing
+	s.log = opts.Logger
+	if s.log == nil {
+		s.log = slog.New(slog.DiscardHandler)
+	}
 	pending := s.restore()
 	depth := opts.QueueDepth
 	if len(pending) > depth {
@@ -142,6 +178,10 @@ func New(opts Options) *Service {
 			s.compact() // rewrite replayed history down to live state
 		}
 	}
+	if s.replayed > 0 {
+		s.log.Info("journal replayed", "jobs", s.replayed, "requeued", s.requeued)
+	}
+	s.registerMetrics()
 	s.runners.Add(opts.JobWorkers)
 	for i := 0; i < opts.JobWorkers; i++ {
 		// Job runners are the service's long-lived queue consumers, not
@@ -178,6 +218,19 @@ type job struct {
 
 	ctx    context.Context
 	cancel context.CancelCauseFunc
+
+	// Observability state, written before the job is visible to runners
+	// (enqueue) or under mu (startedAt): trace/queueSpan are nil unless
+	// tracing is on, sseDropped is nil unless metrics are on — nil
+	// instruments are no-ops, so publish and run never branch on
+	// configuration. enqueuedAt/startedAt feed the latency histograms
+	// from the injected clock; replayed jobs carry zero times and are
+	// skipped.
+	trace      *obs.Trace
+	queueSpan  *obs.Span
+	sseDropped *obs.Counter
+	enqueuedAt time.Time
+	startedAt  time.Time
 
 	mu       sync.Mutex
 	state    JobState
@@ -285,8 +338,15 @@ func (s *Service) enqueue(j *job) (*SubmitResponse, error) {
 		j.cancel(err)
 		return nil, fmt.Errorf("service: journaling submit: %w", err)
 	}
+	// Observability fields must be in place before the queue send: a
+	// runner may claim the job the instant it lands.
+	j.enqueuedAt = s.clock.Now()
+	j.sseDropped = s.sseDropped
+	s.startTrace(j)
 	s.queue <- j
 	s.jobs[j.id] = j
+	s.log.Info("job accepted",
+		"job", j.id, "kind", string(j.kind), "fingerprint", j.fingerprint, "strategy", j.strategyName)
 	return &SubmitResponse{
 		ID:          j.id,
 		Kind:        j.kind,
@@ -304,12 +364,14 @@ func (s *Service) run(j *job) {
 		return
 	}
 	j.state = StateRunning
+	j.startedAt = s.clock.Now()
 	sys := j.req.System
 	if j.kind == KindExplore {
 		sys = j.exploreReq.System
 	}
 	j.mu.Unlock()
 
+	s.jobStarted(j)
 	st := s.storeRef()
 	s.appendRecord(st, store.Record{Op: store.OpStart, Job: j.id})
 	// Idempotent execution: an identical request that already finished
@@ -317,11 +379,14 @@ func (s *Service) run(j *job) {
 	// a crash that hit between its completion and the finish record —
 	// is served from the persistent result store, byte-identical to
 	// the cold run that produced it.
+	acquire := j.trace.Root().Start("solver")
 	if st != nil && j.key != "" {
 		if data, ok := st.GetResult(j.key); ok {
 			var res JobResult
 			if err := json.Unmarshal(data, &res); err == nil {
 				res.PersistentHit = true
+				acquire.SetAttr("source", "persistent")
+				acquire.End()
 				s.finishJob(j, &res, nil)
 				return
 			}
@@ -333,15 +398,25 @@ func (s *Service) run(j *job) {
 			solve.WithWorkers(s.opts.Workers))
 	})
 	if err != nil {
+		acquire.End()
 		s.finishJob(j, nil, err)
 		return
 	}
+	if hit {
+		acquire.SetAttr("source", "lru")
+	} else {
+		acquire.SetAttr("source", "build")
+	}
+	acquire.End()
 	// One base session per system serves every option variant and both
 	// job kinds: Derive re-normalizes the request options from scratch
 	// while sharing the seed-independent caches, so a whole
 	// seed/strategy/exploration sweep over one system rides a single
-	// cache entry.
-	observe := solve.WithObserver(solve.ObserverFunc(func(p solve.Progress) { j.publish(p) }))
+	// cache entry. The phase tracker forwards progress to the fan-out
+	// and times the run phases at this (non-deterministic-layer)
+	// boundary.
+	tracker := &phaseTracker{svc: s, job: j, span: j.trace.Root().Start("run")}
+	observe := tracker.observer()
 	var result *JobResult
 	switch j.kind {
 	case KindExplore:
@@ -355,6 +430,8 @@ func (s *Service) run(j *job) {
 		res, err = session.Synthesize(j.ctx)
 		result, err = synthesisResult(res, err, hit)
 	}
+	tracker.close()
+	tracker.span.End()
 	s.finishJob(j, result, err)
 }
 
@@ -371,13 +448,16 @@ func (s *Service) finishJob(j *job, result *JobResult, err error) {
 	state, errMsg, res := j.state, j.errMsg, j.result
 	j.mu.Unlock()
 	if st := s.storeRef(); st != nil {
+		persist := j.trace.Root().Start("persist")
 		if state == StateDone && res != nil && !res.Partial && !res.PersistentHit && j.key != "" {
 			if blob, encErr := canonicalResult(res); encErr == nil {
 				if putErr := st.PutResult(j.key, blob); putErr != nil {
 					s.storeErrs.Add(1)
+					s.log.Warn("result persist failed", "job", j.id, "error", putErr)
 				}
 			} else {
 				s.storeErrs.Add(1)
+				s.log.Warn("result encoding failed", "job", j.id, "error", encErr)
 			}
 		}
 		s.appendRecord(st, store.Record{
@@ -387,7 +467,9 @@ func (s *Service) finishJob(j *job, result *JobResult, err error) {
 			State: string(state),
 			Error: errMsg,
 		})
+		persist.End()
 	}
+	s.jobFinished(j, state, errMsg)
 	s.retire(j)
 }
 
@@ -491,6 +573,7 @@ func (j *job) publish(p solve.Progress) {
 		select {
 		case ch <- ev:
 		default:
+			j.sseDropped.Inc() // the subscriber sees the gap via Seq
 		}
 	}
 }
@@ -636,6 +719,7 @@ func (s *Service) Cancel(id string) error {
 				Error: j.errMsg,
 			})
 		}
+		s.jobFinished(j, StateCanceled, "canceled before running")
 		s.retire(j)
 		return nil
 	}
@@ -646,6 +730,7 @@ func (s *Service) Cancel(id string) error {
 		// process dies before the job winds down, replay resolves the
 		// job to canceled instead of re-running work nobody wants.
 		s.appendRecord(s.storeRef(), store.Record{Op: store.OpCancel, Job: j.id})
+		s.log.Info("job cancel requested", "job", j.id, "kind", string(j.kind))
 	}
 	j.cancel(context.Canceled)
 	return nil

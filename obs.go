@@ -1,0 +1,52 @@
+package repro
+
+import (
+	"repro/internal/obs"
+	"repro/internal/service"
+)
+
+// Observability surface: a zero-dependency metrics registry with
+// Prometheus text exposition, and per-job trace span trees. Both are
+// opt-in through ServiceOptions (Metrics, Tracing, Logger); disabled
+// they cost nothing — the nil registry's instruments and the nil trace
+// are allocation-free no-ops. All observability timestamps come from
+// the service's injected clock, so the deterministic layers stay
+// wallclock-free and results never depend on whether instrumentation
+// is attached.
+type (
+	// MetricsRegistry is a concurrent registry of counters, gauges and
+	// fixed-bucket histograms; WritePrometheus renders it
+	// deterministically (sorted families, series and buckets).
+	MetricsRegistry = obs.Registry
+	// Trace and Span are the recording side of a span tree; embedders
+	// (and the differential harness) attach their own traces, the
+	// service records one per job when Tracing is on.
+	Trace = obs.Trace
+	Span  = obs.Span
+	// TraceSnapshot is the exported span tree of a job, served on
+	// GET /v1/jobs/{id}/trace: queue wait, solver acquisition (and its
+	// source), the run phases, persistence — plus the flat
+	// sequence-numbered record stream.
+	TraceSnapshot = obs.TraceSnapshot
+	// SpanSnapshot is one node of a TraceSnapshot.
+	SpanSnapshot = obs.SpanSnapshot
+	// TraceRecord is one timestamped span-lifecycle event.
+	TraceRecord = obs.TraceRecord
+	// ObsClock is the observability clock seam; ObsClockFunc adapts a
+	// func() time.Time (tests inject fakes; the service adapts its
+	// store clock, adding no new wall-clock site).
+	ObsClock     = obs.Clock
+	ObsClockFunc = obs.ClockFunc
+)
+
+// NewMetricsRegistry returns an empty enabled registry for
+// ServiceOptions.Metrics. Leave the field nil to disable metrics.
+func NewMetricsRegistry() *MetricsRegistry { return obs.NewRegistry() }
+
+// NewTrace starts a span tree whose root opens immediately; a nil
+// clock records zero timestamps (structure without timing).
+func NewTrace(clock ObsClock, name string) *Trace { return obs.NewTrace(clock, name) }
+
+// ErrNoTrace reports a job without a recorded trace (tracing disabled,
+// or the job was replayed from the journal).
+var ErrNoTrace = service.ErrNoTrace

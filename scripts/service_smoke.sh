@@ -30,6 +30,13 @@ for _ in $(seq 1 100); do
 done
 curl -fsS "$BASE/healthz" >/dev/null
 
+echo "== metrics baseline =="
+M0="$(curl -fsS "$BASE/metrics")"
+echo "$M0" | grep -q '^mcs_queue_capacity' || { echo "exposition missing queue gauges" >&2; exit 1; }
+if echo "$M0" | grep -q '^mcs_jobs_total'; then
+  echo "baseline exposition already counts finished jobs" >&2; exit 1
+fi
+
 echo "== submit =="
 "$WORKDIR/mcs-gen" -nodes 2 -seed 7 -procs-per-node 6 -o "$WORKDIR/sys.json"
 jq '{system: ., strategy: "or"}' "$WORKDIR/sys.json" >"$WORKDIR/req.json"
@@ -63,6 +70,26 @@ echo "$ST2" | jq -e '.result.cacheHit == true' >/dev/null
 # Bit-identical configurations from the cold and the cached job.
 diff <(echo "$ST" | jq -S .result.config) <(echo "$ST2" | jq -S .result.config) >/dev/null \
   || { echo "cache-hit config differs from cold config" >&2; exit 1; }
+
+echo "== metrics moved =="
+M1="$(curl -fsS "$BASE/metrics")"
+echo "$M1" | grep -q '^mcs_jobs_total{kind="synthesize",state="done"} 2$' \
+  || { echo "mcs_jobs_total did not count the two finished jobs" >&2; exit 1; }
+echo "$M1" | grep -q '^mcs_job_duration_seconds_bucket' \
+  || { echo "mcs_job_duration_seconds histogram missing" >&2; exit 1; }
+echo "$M1" | grep -q '^mcs_solver_cache_hits_total 1$' \
+  || { echo "mcs_solver_cache_hits_total did not count the warm job" >&2; exit 1; }
+echo "$M1" | grep -q '^mcs_engine_tasks_total' \
+  || { echo "engine pool counters missing" >&2; exit 1; }
+
+echo "== trace =="
+TR="$(curl -fsS "$BASE/v1/jobs/$ID/trace")"
+echo "$TR" | jq -e '.root.name == "job" and .root.endUnixNano > 0' >/dev/null \
+  || { echo "trace root missing or not closed: $TR" >&2; exit 1; }
+echo "$TR" | jq -e '[.root.children[].name] | (index("queue") != null) and (index("solver") != null) and (index("run") != null)' >/dev/null \
+  || { echo "trace misses lifecycle spans: $TR" >&2; exit 1; }
+echo "$TR" | jq -e '.records | length > 0' >/dev/null
+echo "trace spans: $(echo "$TR" | jq -c '[.root.children[].name]')"
 
 echo "== SSE =="
 EVENTS="$(curl -fsS -N --max-time 60 "$BASE/v1/jobs/$ID/events")"
@@ -166,6 +193,9 @@ echo "$HEALTH" | jq -e '.store.replayedJobs >= 2' >/dev/null \
   || { echo "replay lost jobs: $HEALTH" >&2; exit 1; }
 echo "$HEALTH" | jq -e '.store.requeuedJobs >= 1' >/dev/null \
   || { echo "crashed mid-run job not requeued: $HEALTH" >&2; exit 1; }
+# The durable instance's exposition covers the store/journal plane.
+curl -fsS "$DBASE/metrics" | grep -q '^mcs_store_segments [1-9]' \
+  || { echo "store metrics missing from durable instance" >&2; exit 1; }
 # The finished job survives the kill -9 with a byte-identical result.
 RST="$(curl -fsS "$DBASE/v1/jobs/$AID")"
 echo "$RST" | jq -e '.state == "done" and .result.persistentHit == true' >/dev/null \
